@@ -1,0 +1,53 @@
+// Ablation: ensemble-size configuration choice.
+//
+// Sec. 5: "selecting proper configurations such as 1000 ensemble members"
+// came from sensitivity tests trading accuracy against compute.  The scaled
+// sweep runs the identical OSSE at several ensemble sizes and reports
+// analysis quality and cost; the projected Fugaku LETKF time at each size
+// shows the real trade the authors were making.
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "hpc/perf_model.hpp"
+#include "verify/scores.hpp"
+
+using namespace bda;
+
+int main() {
+  bench::print_header("Ablation — ensemble size sweep",
+                      "Sec. 5 configuration choice (1000 members)");
+
+  const auto cal = hpc::calibrate_host();
+  const hpc::BdaCostModel cost(cal, hpc::FugakuSpec{});
+  const std::size_t cells = 256ull * 256ull * 60ull;
+
+  std::printf("  members | qr RMSE   | analysis wall | projected Fugaku "
+              "LETKF (k members, 8008 nodes)\n");
+  for (const int members : {4, 8, 16, 24}) {
+    auto cfg = bench::osse_config(members);
+    auto sys = bench::make_storm_system(cfg);
+    sys->cycle();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = sys->cycle();
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const auto mean = sys->ensemble().mean();
+    const double rmse = verify::rmse3(mean.rhoq[scale::QR],
+                                      sys->nature().state().rhoq[scale::QR]);
+    // Project the corresponding full-scale ensemble (members scaled by the
+    // same factor the paper's 1000 stands to our largest sweep point).
+    const std::size_t k_full = std::size_t(members) * 1000 / 24;
+    const double t_full = cost.t_letkf(cells / 2, k_full, 600, 8008);
+    std::printf("  %7d | %.3e | %10.2f s  | k=%4zu: %6.1f s%s\n", members,
+                rmse, dt, k_full, t_full,
+                members == 24 ? "   <- paper-equivalent (k=1000)" : "");
+    (void)res;
+  }
+  std::printf("\nexpected shape: error falls with members (sampling noise "
+              "~1/sqrt(k)); cost grows superlinearly (p k^2 + k^3) — the "
+              "paper's 1000 members saturate the 15-s budget on 8008 "
+              "nodes.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: BDA forecast vs advection nowcast vs persistence.
+//
+// Honda et al. 2022 [34] ("Advantage of 30-s-Updating Numerical Weather
+// Prediction ... over Operational Nowcast") is the paper's companion
+// comparison: nowcasts extrapolate observed echoes with motion vectors and
+// beat frozen persistence, but cannot capture growth/decay — NWP can.
+// Scaled version: score the BDA product forecast, the block-matching
+// advection nowcast built from the last two scans, and frozen persistence
+// against the evolving truth.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "scale/model.hpp"
+#include "verify/nowcast.hpp"
+#include "verify/persistence.hpp"
+#include "verify/scores.hpp"
+
+using namespace bda;
+
+int main() {
+  bench::print_header("Ablation — BDA vs advection nowcast vs persistence",
+                      "Sec. 6 baseline practice; Honda et al. 2022 [34]");
+
+  auto cfg = bench::osse_config(12);
+  auto sys = bench::make_storm_system(cfg);
+  for (int c = 0; c < 2; ++c) sys->cycle();
+
+  // Two consecutive observed maps give the nowcast its motion vector.
+  const RField2D obs_prev = sys->reflectivity_map(sys->nature().state());
+  sys->cycle();
+  const RField2D obs_now = sys->reflectivity_map(sys->nature().state());
+  const auto motion =
+      verify::estimate_motion(obs_prev, obs_now, {}, cfg.cycle_s);
+  std::printf("estimated echo motion: %.2f, %.2f cells/min (valid=%s)\n",
+              motion.u * 60.0, motion.v * 60.0, motion.valid ? "yes" : "no");
+
+  // Truth and BDA forecast trajectories from the analysis time.
+  scale::Model truth(sys->grid(), scale::convective_sounding(), cfg.model);
+  truth.state() = sys->nature().state();
+  scale::Model fcst(sys->grid(), scale::convective_sounding(), cfg.model);
+  fcst.state() = sys->ensemble().mean();
+  verify::PersistenceForecast persist(obs_now);
+
+  const double lead_step = 120.0;
+  const int n_leads = 5;
+  std::printf("\n  lead [min] |   BDA   | nowcast | persistence\n");
+  for (int l = 1; l <= n_leads; ++l) {
+    truth.advance(real(lead_step));
+    fcst.advance(real(lead_step));
+    const double lead = l * lead_step;
+    const RField2D obs = sys->reflectivity_map(truth.state());
+    const RField2D bda = sys->reflectivity_map(fcst.state());
+    const RField2D now = verify::advect_nowcast(obs_now, motion, lead);
+    const double ts_bda = verify::contingency(bda, obs, 30.0f).threat_score();
+    const double ts_now = verify::contingency(now, obs, 30.0f).threat_score();
+    const double ts_per =
+        verify::contingency(persist.at(lead), obs, 30.0f).threat_score();
+    std::printf("  %9.1f | %7.3f | %7.3f | %7.3f\n", lead / 60.0, ts_bda,
+                ts_now, ts_per);
+  }
+  std::printf("\nexpected shape ([34]): nowcast >= persistence; BDA >= both "
+              "at longer leads where storm evolution (growth/decay/new "
+              "cells) dominates pure translation.\n");
+  return 0;
+}

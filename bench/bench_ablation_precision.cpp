@@ -1,0 +1,104 @@
+// Ablation: single vs double precision.
+//
+// Sec. 5: "We converted variables of both SCALE and LETKF Fortran codes
+// from double precision to single precision for 2x acceleration."  The
+// same kernels here are templated on the scalar type; google-benchmark
+// measures both instantiations of the LETKF weight solve, the symmetric
+// eigensolver, the vertical tridiagonal solve and the ensemble-space GEMM.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "letkf/letkf_core.hpp"
+#include "scale/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using bda::Rng;
+
+template <typename T>
+void BM_LetkfWeights(benchmark::State& state) {
+  const std::size_t k = std::size_t(state.range(0));
+  const std::size_t p = 2 * k;
+  Rng rng(1);
+  std::vector<T> Y(p * k), d(p), rinv(p, T(1)), W(k * k);
+  for (auto& v : Y) v = T(rng.normal());
+  for (auto& v : d) v = T(rng.normal());
+  bda::letkf::LetkfWorkspace<T> ws(k);
+  for (auto _ : state) {
+    bda::letkf::letkf_weights<T>(k, p, Y.data(), d.data(), rinv.data(),
+                                 T(0.95), T(1), ws, W.data());
+    benchmark::DoNotOptimize(W.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_LetkfWeights, float)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK_TEMPLATE(BM_LetkfWeights, double)->Arg(32)->Arg(64)->Arg(128);
+
+template <typename T>
+void BM_SymEigen(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  Rng rng(2);
+  std::vector<T> a0(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const T x = T(rng.normal());
+      a0[i * n + j] = x;
+      a0[j * n + i] = x;
+    }
+  std::vector<T> a(n * n), w(n);
+  for (auto _ : state) {
+    a = a0;
+    bda::letkf::sym_eigen<T>(n, a.data(), w.data());
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK_TEMPLATE(BM_SymEigen, float)->Arg(64)->Arg(128);
+BENCHMARK_TEMPLATE(BM_SymEigen, double)->Arg(64)->Arg(128);
+
+template <typename T>
+void BM_Tridiagonal(benchmark::State& state) {
+  // One HEVI column solve (nz = 60, Table 3) per iteration batch of 1024
+  // columns — the shape of the vertical-implicit step.
+  const std::size_t n = 60;
+  Rng rng(3);
+  std::vector<T> a(n), b(n), c0(n), d0(n), c(n), d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = T(rng.uniform(-0.4, 0.4));
+    c0[i] = T(rng.uniform(-0.4, 0.4));
+    b[i] = T(2.5);
+    d0[i] = T(rng.normal());
+  }
+  for (auto _ : state) {
+    for (int col = 0; col < 1024; ++col) {
+      c = c0;
+      d = d0;
+      bda::scale::solve_tridiagonal<T>(a, b, c, d);
+      benchmark::DoNotOptimize(d.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK_TEMPLATE(BM_Tridiagonal, float);
+BENCHMARK_TEMPLATE(BM_Tridiagonal, double);
+
+template <typename T>
+void BM_EnsembleGemm(benchmark::State& state) {
+  // W application: (k x k) x (k x k) product as in the weight composition.
+  const std::size_t k = std::size_t(state.range(0));
+  Rng rng(4);
+  std::vector<T> a(k * k), b(k * k), c(k * k);
+  for (auto& v : a) v = T(rng.normal());
+  for (auto& v : b) v = T(rng.normal());
+  for (auto _ : state) {
+    bda::scale::gemm<T>(k, k, k, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK_TEMPLATE(BM_EnsembleGemm, float)->Arg(128);
+BENCHMARK_TEMPLATE(BM_EnsembleGemm, double)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Fig 5: the month-long operational record.
+//
+// Simulates the two deployment windows (Olympics: July 20 - Aug 8;
+// Paralympics: Aug 25 - Sep 5, 2021) cycle by cycle with the calibrated
+// cost model, rain-area climatology and failure injection, and prints:
+//   (a/b) per-period time series summaries with outage (gray) periods,
+//   (c)   the time-to-solution histogram with the fraction under 3 minutes,
+// next to the paper's reported numbers (75,248 forecasts; ~97% < 3 min;
+// JIT-DT ~3 s; <1> ~15 s; <2> ~2 min).
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/stats.hpp"
+#include "workflow/operations.hpp"
+
+using namespace bda;
+using namespace bda::workflow;
+
+namespace {
+
+void run_period(const char* name, std::size_t days,
+                const OperationSimulator& sim, Rng& rng,
+                std::vector<CycleRecord>& all) {
+  const std::size_t cycles = days * 86400 / 30;
+  const auto recs = sim.run(cycles, rng);
+  const auto sum = OperationSimulator::summarize(recs);
+
+  std::printf("\n%s (%zu days, %zu cycles):\n", name, days, cycles);
+  std::printf("  forecasts produced: %zu (%.1f%% of cycles)\n",
+              sum.forecasts_produced,
+              100.0 * double(sum.forecasts_produced) / double(cycles));
+  std::printf("  TTS: mean %.1f s, median %.1f s, p97 %.1f s, max %.1f s\n",
+              sum.mean_tts, sum.p50_tts, sum.p97_tts, sum.max_tts);
+  std::printf("  under 3 min: %.1f%%\n", 100.0 * sum.frac_under_3min);
+
+  // Daily digest: mean TTS + rain area + outage cycles (the gray shading).
+  std::printf("  day | mean TTS | rain>=1mm/h | rain>=20mm/h | outage\n");
+  for (std::size_t d = 0; d < days; ++d) {
+    RunningStats tts, r1, r20;
+    std::size_t gray = 0;
+    for (std::size_t c = d * 2880; c < (d + 1) * 2880 && c < recs.size();
+         ++c) {
+      const auto& r = recs[c];
+      r1.add(r.rain_area_1mm);
+      r20.add(r.rain_area_20mm);
+      if (r.produced)
+        tts.add(r.tts);
+      else
+        ++gray;
+    }
+    std::printf("  %3zu | %6.1f s | %8.0f km2 | %9.0f km2 | %4zu cycles%s\n",
+                d + 1, tts.mean(), r1.mean(), r20.mean(), gray,
+                gray > 0 ? "  ###" : "");
+  }
+  all.insert(all.end(), recs.begin(), recs.end());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig 5 — month-long time-to-solution record",
+                      "Fig 5a/5b/5c; Sec. 7 performance results");
+
+  // The fixed reference calibration keeps this bench's output exactly
+  // reproducible; bench_fig2_workflow shows the live host-measured variant.
+  const auto cal = hpc::reference_calibration();
+  OperationConfig cfg;
+  OperationSimulator sim(cfg, cal);
+  std::printf("cost model: reference %.2e cells/s, %.1f LETKF pts/s; "
+              "node_speedup=%.0f, complexity=%.0f\n",
+              cal.model_cells_per_s, cal.letkf_points_per_s,
+              cfg.fugaku.node_speedup, cfg.fugaku.model_complexity);
+
+  Rng rng(20210720);
+  std::vector<CycleRecord> all;
+  run_period("Olympics period (Jul 20 - Aug 8)", 20, sim, rng, all);
+  run_period("Paralympics period (Aug 25 - Sep 5)", 12, sim, rng, all);
+
+  const auto sum = OperationSimulator::summarize(all);
+  std::printf("\n==== combined record vs paper ====\n");
+  std::printf("  forecasts produced:  %zu      (paper: 75,248)\n",
+              sum.forecasts_produced);
+  std::printf("  net production time: %.1f days (paper: 26 d 3 h 4 m)\n",
+              sum.produced_seconds / 86400.0);
+  std::printf("  under 3 minutes:     %.1f%%    (paper: ~97%%)\n",
+              100.0 * sum.frac_under_3min);
+  std::printf("  mean JIT-DT:         %.1f s   (paper: ~3 s)\n",
+              sum.mean_jitdt);
+  std::printf("  mean LETKF <1-1>:    %.1f s   (paper: <1> total ~15 s)\n",
+              sum.mean_letkf);
+  std::printf("  mean forecast <2>:   %.1f s   (paper: ~2 min)\n",
+              sum.mean_fcst);
+
+  // Fig 5c: the histogram.
+  std::printf("\nFig 5c — histogram of time-to-solution (minutes):\n");
+  Histogram hist(0.0, 6.0, 24);
+  for (const auto& r : all)
+    if (r.produced) hist.add(r.tts / 60.0);
+  std::printf("%s", hist.render(60).c_str());
+
+  // Rain-area dependence (Sec. 7: "the more the rain area, the more the
+  // computation").
+  RunningStats low, high;
+  for (const auto& r : all) {
+    if (!r.produced) continue;
+    (r.rain_area_1mm < 300.0 ? low : high).add(r.t_letkf);
+  }
+  std::printf("\nLETKF time by rain regime: <300 km2: %.2f s;  >=300 km2: "
+              "%.2f s (+%.0f%%)\n",
+              low.mean(), high.mean(),
+              100.0 * (high.mean() / low.mean() - 1.0));
+  return 0;
+}

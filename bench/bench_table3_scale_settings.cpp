@@ -1,0 +1,114 @@
+// Table 3: the experimental settings of SCALE for the inner domain.
+//
+// Exercises the model at the paper's configuration: dt = 0.4 s on a 500-m
+// grid with surface-refined vertical levels, hybrid (HEVI) integration, and
+// the full physics suite.  Shows (a) why the vertical implicit solver is
+// required — the vertical acoustic CFL exceeds 1 at dt = 0.4 s — and (b)
+// the per-step cost of each physics component.
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "scale/model.hpp"
+
+using namespace bda;
+using namespace bda::scale;
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Table 3 — SCALE inner-domain settings",
+                      "Table 3 (dt = 0.4 s, HEVI, SM6 physics suite)");
+
+  // Paper column geometry at reduced horizontal extent (cost).
+  Grid grid = Grid::stretched(24, 24, 60, 500.0f, 16400.0f, 80.0f, 1.032f);
+  std::printf("grid: %lld x %lld x %lld, dx = %.0f m, top = %.0f m\n",
+              (long long)grid.nx(), (long long)grid.ny(),
+              (long long)grid.nz(), grid.dx(), grid.ztop());
+  std::printf("lowest layer dz = %.1f m, highest dz = %.1f m\n", grid.dz(0),
+              grid.dz(grid.nz() - 1));
+
+  const real dt = 0.4f;  // Table 3
+  const real cs = 347.0f;
+  std::printf("\nacoustic CFL at dt = %.1f s:\n", dt);
+  std::printf("  horizontal: cs*dt/dx = %.2f (< 1: explicit OK)\n",
+              cs * dt / grid.dx());
+  std::printf("  vertical:   cs*dt/dz_min = %.2f (> 1: explicit UNSTABLE;\n"
+              "              the implicit vertical solver is what allows the "
+              "Table 3 step)\n",
+              cs * dt / grid.dz(0));
+
+  // Full-physics stability + cost at the paper step.
+  ModelConfig cfg;
+  cfg.dt = dt;
+  cfg.physics_every = 5;
+  Model model(grid, convective_sounding(), cfg);
+  add_thermal_bubble(model.state(), grid, 6000, 6000, 1200, 2500, 1000,
+                     3.0f);
+  // Warm up and confirm stability over 60 s of model time.
+  auto t0 = std::chrono::steady_clock::now();
+  model.advance(60.0f);
+  const double t_60s = seconds_since(t0);
+  std::printf("\n60 s of model time (150 steps, full physics): %.2f s wall, "
+              "finite = %s\n",
+              t_60s, model.state().has_nonfinite() ? "NO" : "yes");
+
+  // Per-component cost.
+  std::printf("\nper-step cost breakdown (same state):\n");
+  {
+    const auto ref = ReferenceState::build(grid, convective_sounding());
+    Dynamics dyn(grid, ref, cfg.dyn);
+    State s = model.state();
+    t0 = std::chrono::steady_clock::now();
+    for (int n = 0; n < 10; ++n) dyn.step(s, dt);
+    std::printf("  dynamics (RK3 + HEVI):   %7.2f ms/step\n",
+                seconds_since(t0) * 100.0);
+    Microphysics mp(grid, cfg.micro);
+    t0 = std::chrono::steady_clock::now();
+    for (int n = 0; n < 10; ++n) mp.step(s, dt);
+    std::printf("  microphysics (SM6):      %7.2f ms/step\n",
+                seconds_since(t0) * 100.0);
+    Turbulence turb(grid, cfg.turb);
+    t0 = std::chrono::steady_clock::now();
+    for (int n = 0; n < 10; ++n) turb.step(s, dt);
+    std::printf("  turbulence (Smagorinsky):%7.2f ms/step\n",
+                seconds_since(t0) * 100.0);
+    BoundaryLayer pbl(grid, cfg.pbl);
+    t0 = std::chrono::steady_clock::now();
+    for (int n = 0; n < 10; ++n) pbl.step(s, dt);
+    std::printf("  boundary layer (TKE):    %7.2f ms/step\n",
+                seconds_since(t0) * 100.0);
+    Surface sfc(grid, cfg.sfc);
+    t0 = std::chrono::steady_clock::now();
+    for (int n = 0; n < 10; ++n) sfc.step(s, dt, &pbl);
+    std::printf("  surface (Beljaars bulk): %7.2f ms/step\n",
+                seconds_since(t0) * 100.0);
+    Radiation rad(grid, cfg.rad);
+    t0 = std::chrono::steady_clock::now();
+    for (int n = 0; n < 10; ++n) rad.step(s, dt);
+    std::printf("  radiation (gray):        %7.2f ms/step\n",
+                seconds_since(t0) * 100.0);
+  }
+
+  // RK stage count ablation: RK3 vs forward Euler at the same step.
+  std::printf("\ntime integration (Table 3: 'hybrid explicit/implicit'):\n");
+  for (int stages : {1, 3}) {
+    ModelConfig c2;
+    c2.dt = dt;
+    c2.dyn.rk_stages = stages;
+    c2.enable_turb = c2.enable_pbl = c2.enable_sfc = c2.enable_rad = false;
+    Model m2(grid, convective_sounding(), c2);
+    add_thermal_bubble(m2.state(), grid, 6000, 6000, 1200, 2500, 1000, 3.0f);
+    t0 = std::chrono::steady_clock::now();
+    m2.advance(30.0f);
+    std::printf("  RK%d: 30 s model time in %.2f s wall, finite = %s\n",
+                stages, seconds_since(t0),
+                m2.state().has_nonfinite() ? "NO" : "yes");
+  }
+  return 0;
+}

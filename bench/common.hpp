@@ -1,0 +1,78 @@
+// Shared helpers for the reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper (see
+// DESIGN.md's per-experiment index).  Functional results come from scaled
+// OSSE runs of the real code; paper-scale timings come from the calibrated
+// Fugaku cost model, and every bench that uses the projection prints the
+// scaling assumptions next to the numbers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "workflow/cycle.hpp"
+
+namespace bda::bench {
+
+/// Scaled OSSE configuration used by the figure benches: small enough to
+/// run in seconds, structured exactly like the operational system.
+inline workflow::BdaSystemConfig osse_config(int members = 8) {
+  workflow::BdaSystemConfig cfg;
+  cfg.cycle_s = 30.0;
+  cfg.n_members = members;
+  cfg.model.dt = 0.6f;
+  cfg.model.physics_every = 10;
+  cfg.model.enable_rad = false;
+
+  cfg.scan.range_max = 10000.0f;
+  cfg.scan.gate_length = 500.0f;
+  cfg.scan.n_azimuth = 48;
+  cfg.scan.n_elevation = 16;
+
+  cfg.radar.radar_x = 6000.0f;
+  cfg.radar.radar_y = 6000.0f;
+  cfg.radar.radar_z = 50.0f;
+  cfg.radar.block_az_from = 200.0f;
+  cfg.radar.block_az_to = 215.0f;
+
+  cfg.obsgen.clear_air = true;
+  cfg.obsgen.clear_air_thin = 4;
+
+  cfg.letkf.hloc = 2000.0f;  // Table 2 value
+  cfg.letkf.vloc = 2000.0f;
+  cfg.letkf.rtpp_alpha = 0.7f;
+  cfg.letkf.z_min = 0.0f;
+  cfg.letkf.z_max = 11000.0f;
+  cfg.letkf.max_obs_per_grid = 100;
+
+  cfg.perturb.theta_amp = 0.4f;
+  cfg.perturb.qv_frac = 0.04f;
+  cfg.perturb.wind_amp = 0.6f;
+  cfg.perturb.zmax = 6000.0f;
+  return cfg;
+}
+
+inline scale::Grid osse_grid() {
+  return scale::Grid::stretched(20, 20, 10, 500.0f, 10000.0f, 250.0f, 1.12f);
+}
+
+/// Spin up a twin experiment with a mature convective storm: nature rains,
+/// ensemble members carry displaced/weakened versions of the storm.
+inline std::unique_ptr<workflow::BdaSystem> make_storm_system(
+    const workflow::BdaSystemConfig& cfg) {
+  auto sys = std::make_unique<workflow::BdaSystem>(
+      osse_grid(), scale::convective_sounding(), cfg);
+  sys->perturb_ensemble();
+  sys->trigger_storm(6000.0f, 6000.0f, 4.0f, /*in_ensemble=*/true, 1500.0f);
+  sys->spinup(360.0);
+  return sys;
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("\n=====================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("  paper reference: %s\n", paper.c_str());
+  std::printf("=====================================================\n");
+}
+
+}  // namespace bda::bench

@@ -1,0 +1,56 @@
+// Quickstart: one Big Data Assimilation cycle in ~40 lines of API.
+//
+//   nature run --(phased-array radar)--> observations --(LETKF)--> analysis
+//
+// Builds a small twin experiment, runs three 30-second cycles, and prints
+// the analysis statistics plus a reflectivity map of the truth the system
+// is tracking.  Start here; the other examples scale the same calls up.
+#include <cstdio>
+
+#include "util/ascii_render.hpp"
+#include "workflow/cycle.hpp"
+
+using namespace bda;
+
+int main() {
+  // A 10 km x 10 km, 10-level domain at the paper's 500-m spacing.
+  const scale::Grid grid =
+      scale::Grid::stretched(20, 20, 10, 500.0f, 10000.0f, 250.0f, 1.12f);
+
+  workflow::BdaSystemConfig cfg;
+  cfg.n_members = 8;          // the paper runs 1000
+  cfg.cycle_s = 30.0;         // the famous 30-second refresh
+  cfg.model.dt = 0.6f;
+  cfg.model.enable_rad = false;
+  cfg.radar.radar_x = 5000.0f;  // radar at the domain center
+  cfg.radar.radar_y = 5000.0f;
+  cfg.scan.range_max = 9000.0f;
+  cfg.scan.n_azimuth = 48;
+  cfg.scan.n_elevation = 16;
+
+  workflow::BdaSystem sys(grid, scale::convective_sounding(), cfg);
+
+  // Give the ensemble initial spread, start a storm in the "true"
+  // atmosphere (and fuzzier versions of it in every member), and let
+  // convection develop.
+  sys.perturb_ensemble();
+  sys.trigger_storm(6000.0f, 6000.0f, 4.0f, /*in_ensemble=*/true);
+  std::printf("spinning up convection (6 model minutes)...\n");
+  sys.spinup(360.0);
+
+  for (int c = 0; c < 3; ++c) {
+    const auto res = sys.cycle();  // observe -> assimilate -> advance
+    std::printf(
+        "cycle %d @ t=%5.0fs: %4zu obs, %zu grid points updated, "
+        "mean |innovation| %.2f, nature max %.0f dBZ\n",
+        c + 1, res.t_obs, res.n_obs, res.analysis.n_grid_updated,
+        res.analysis.mean_abs_innovation, res.nature_max_dbz);
+  }
+
+  std::printf("\nthe storm the system is tracking (2-km reflectivity, "
+              "nature run):\n%s",
+              render_dbz(sys.reflectivity_map(sys.nature().state())).c_str());
+  std::printf("analysis ensemble mean, same view:\n%s",
+              render_dbz(sys.reflectivity_map(sys.ensemble().mean())).c_str());
+  return 0;
+}

@@ -1,0 +1,119 @@
+// The data path: radar server -> JIT-DT -> assimilation-ready observations.
+//
+// Exercises the front half of Fig 2 with real files and threads:
+//   1. a "radar server" writes completed volume-scan files (.pwr) into a
+//      spool directory, one per 30-s scan, exactly as MP-PAWR does;
+//   2. a DirectoryWatcher (JIT-DT's front end) notices each file the moment
+//      its size is stable;
+//   3. JIT-DT moves the bytes through the modeled SINET channel — with a
+//      stall injected on scan 2 to show the watchdog/auto-restart fail-safe;
+//   4. the receiver decodes, quality-controls and regrids the scan to
+//      500-m analysis observations (Table 2).
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "jitdt/transfer.hpp"
+#include "jitdt/watcher.hpp"
+#include "pawr/datafile.hpp"
+#include "pawr/forward.hpp"
+#include "pawr/obsgen.hpp"
+#include "scale/model.hpp"
+
+using namespace bda;
+namespace fs = std::filesystem;
+
+int main() {
+  const scale::Grid grid =
+      scale::Grid::stretched(20, 20, 10, 500.0f, 10000.0f, 250.0f, 1.12f);
+
+  // Atmosphere with a developing storm for the radar to see.
+  scale::ModelConfig mcfg;
+  mcfg.dt = 0.6f;
+  mcfg.enable_rad = false;
+  scale::Model atmosphere(grid, scale::convective_sounding(), mcfg);
+  scale::add_thermal_bubble(atmosphere.state(), grid, 6000, 6000, 1200, 2500,
+                            1000, 4.0f);
+  std::printf("spinning up the atmosphere...\n");
+  atmosphere.advance(420.0f);
+
+  pawr::ScanConfig scan_cfg;
+  scan_cfg.range_max = 9000.0f;
+  scan_cfg.gate_length = 500.0f;
+  scan_cfg.n_azimuth = 48;
+  scan_cfg.n_elevation = 16;
+  pawr::RadarSimConfig radar_cfg;
+  radar_cfg.radar_x = 5000.0f;
+  radar_cfg.radar_y = 5000.0f;
+  pawr::RadarSimulator radar(grid, scan_cfg, radar_cfg);
+
+  const std::string spool =
+      (fs::temp_directory_path() / "bda_radar_spool").string();
+  fs::remove_all(spool);
+  fs::create_directories(spool);
+
+  // --- receiver side: watcher + JIT-DT + regridding ---
+  std::atomic<int> delivered{0};
+  Rng fault_rng(99);
+  jitdt::DirectoryWatcher watcher(spool, ".pwr", 0.02);
+  watcher.start([&](const std::string& path) {
+    const int n = delivered.load() + 1;
+    // Scan 2 gets a lossy channel to demonstrate the fail-safe.
+    jitdt::JitDtConfig jcfg;
+    jitdt::FaultModel faults;
+    Rng rng_local = fault_rng.split();
+    if (n == 2) {
+      faults.stall_probability = 0.35;
+      faults.rng = &rng_local;
+      jcfg.chunk_bytes = 16u << 10;  // many chunks: stalls will happen
+      jcfg.max_restarts = 50;
+    }
+    jitdt::JitDtLink link(jcfg, faults);
+
+    // Read the raw file bytes (the radar-server side of the wire).
+    std::vector<std::uint8_t> raw;
+    {
+      std::ifstream f(path, std::ios::binary);
+      raw.assign(std::istreambuf_iterator<char>(f),
+                 std::istreambuf_iterator<char>());
+    }
+    std::vector<std::uint8_t> wire;
+    const auto res = link.transfer(raw, wire);
+    const auto scan = pawr::decode_scan(wire);
+    const auto obs = pawr::regrid_scan(scan, grid, radar_cfg.radar_x,
+                                       radar_cfg.radar_y, radar_cfg.radar_z);
+    std::printf(
+        "  delivered %s: %zu bytes in %.2f s (virtual), %d restart(s), "
+        "crc %s -> %zu assimilation-ready obs (T_obs = %.0f s)\n",
+        fs::path(path).filename().c_str(), res.bytes, res.elapsed_s,
+        res.restarts, res.crc_ok ? "ok" : "FAIL", obs.size(), scan.t_obs);
+    delivered.fetch_add(1);
+  });
+
+  // --- radar-server side: one scan file every (compressed) 30 s ---
+  std::printf("radar server writing scans into %s\n", spool.c_str());
+  Rng noise(7);
+  for (int s = 0; s < 3; ++s) {
+    atmosphere.advance(30.0f);
+    const auto scan = radar.observe(atmosphere.state(), atmosphere.time(),
+                                    noise);
+    pawr::write_scan(spool + "/scan_" + std::to_string(s) + ".pwr", scan);
+    std::printf("scan %d complete at t = %.0f s (%zu samples, %.1f MB)\n", s,
+                atmosphere.time(), scan.n_samples(),
+                double(scan.payload_bytes()) / 1e6);
+  }
+
+  // Wait for the watcher to drain the spool.
+  for (int n = 0; n < 600 && delivered.load() < 3; ++n)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watcher.stop();
+  fs::remove_all(spool);
+
+  std::printf("\n%d/3 scans delivered through the fail-safe pipeline.\n",
+              delivered.load());
+  std::printf("(operational scale: 100 MB per scan over SINET in ~3 s, "
+              "every 30 s, for a month)\n");
+  return delivered.load() == 3 ? 0 : 1;
+}

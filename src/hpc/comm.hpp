@@ -1,0 +1,83 @@
+// Message-passing substrate (MPI-style, thread-backed).
+//
+// The operational SCALE-LETKF is one MPI executable over 426,624 cores; the
+// paper's I/O innovation replaced SCALE<->LETKF file exchange with "MPI data
+// transfer with RAM copy and node-to-node network communications".  This
+// module provides the same programming model at laptop scale: a CommWorld
+// spawns N ranks as threads, each holding a Comm endpoint with tagged
+// point-to-point send/recv and the collectives the workflow uses.  Message
+// delivery is by value (buffers copied), matching MPI semantics.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace bda::hpc {
+
+using Buffer = std::vector<std::uint8_t>;
+
+class CommWorld;
+
+/// Per-rank endpoint.  Valid only inside CommWorld::run.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocking tagged send (copies the buffer into the destination mailbox).
+  void send(int dest, int tag, const Buffer& data);
+  /// Blocking tagged receive from a specific source.
+  Buffer recv(int source, int tag);
+
+  /// Collectives over all ranks.
+  void barrier();
+  double allreduce_sum(double value);
+  /// Gather per-rank buffers at root; non-roots get an empty vector.
+  std::vector<Buffer> gather(int root, const Buffer& mine);
+
+ private:
+  friend class CommWorld;
+  Comm(CommWorld* world, int rank) : world_(world), rank_(rank) {}
+  CommWorld* world_;
+  int rank_;
+};
+
+/// Owns the mailboxes and runs a function on every rank.
+class CommWorld {
+ public:
+  explicit CommWorld(int n_ranks);
+
+  int size() const { return n_ranks_; }
+
+  /// Run `fn(comm)` on every rank concurrently; returns when all finish.
+  /// Exceptions thrown by any rank are rethrown (first one wins).
+  void run(const std::function<void(Comm&)>& fn);
+
+ private:
+  friend class Comm;
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    // Keyed by (source, tag); FIFO per key.
+    std::map<std::pair<int, int>, std::vector<Buffer>> queues;
+  };
+  void deliver(int dest, int source, int tag, const Buffer& data);
+  Buffer take(int self, int source, int tag);
+
+  int n_ranks_;
+  std::vector<Mailbox> boxes_;
+
+  // Barrier / reduction state.
+  std::mutex coll_mu_;
+  std::condition_variable coll_cv_;
+  int coll_count_ = 0;
+  std::uint64_t coll_generation_ = 0;
+  double reduce_acc_ = 0.0;
+  double reduce_result_ = 0.0;
+};
+
+}  // namespace bda::hpc

@@ -1,0 +1,113 @@
+#include "hpc/domain_decomp.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace bda::hpc {
+
+TileLayout::TileLayout(int rank_, int px_, int py_, idx global_nx,
+                       idx global_ny)
+    : rank(rank_), px(px_), py(py_) {
+  if (px <= 0 || py <= 0 || rank < 0 || rank >= px * py)
+    throw std::invalid_argument("TileLayout: bad process grid");
+  if (global_nx % px != 0 || global_ny % py != 0)
+    throw std::invalid_argument(
+        "TileLayout: domain not divisible by process grid");
+  cx = rank % px;
+  cy = rank / px;
+  nx = global_nx / px;
+  ny = global_ny / py;
+  x0 = idx(cx) * nx;
+  y0 = idx(cy) * ny;
+}
+
+int TileLayout::rank_of(int cx, int cy, int px, int py) {
+  const int wx = (cx % px + px) % px;
+  const int wy = (cy % py + py) % py;
+  return wy * px + wx;
+}
+
+int TileLayout::neighbor(int dx, int dy) const {
+  return rank_of(cx + dx, cy + dy, px, py);
+}
+
+namespace {
+
+/// Pack a rectangular (i, j) range (all k levels) into a byte buffer.
+Buffer pack(const RField3D& f, idx i_lo, idx i_hi, idx j_lo, idx j_hi) {
+  const std::size_t nz = static_cast<std::size_t>(f.nz());
+  Buffer buf;
+  buf.reserve(static_cast<std::size_t>(i_hi - i_lo) *
+              static_cast<std::size_t>(j_hi - j_lo) * nz * sizeof(real));
+  for (idx i = i_lo; i < i_hi; ++i)
+    for (idx j = j_lo; j < j_hi; ++j) {
+      const auto col = f.column(i, j);
+      const auto* p = reinterpret_cast<const std::uint8_t*>(col.data());
+      buf.insert(buf.end(), p, p + nz * sizeof(real));
+    }
+  return buf;
+}
+
+void unpack(const Buffer& buf, RField3D& f, idx i_lo, idx i_hi, idx j_lo,
+            idx j_hi) {
+  const std::size_t nz = static_cast<std::size_t>(f.nz());
+  std::size_t pos = 0;
+  if (buf.size() != static_cast<std::size_t>(i_hi - i_lo) *
+                        static_cast<std::size_t>(j_hi - j_lo) * nz *
+                        sizeof(real))
+    throw std::runtime_error("exchange_halo: strip size mismatch");
+  for (idx i = i_lo; i < i_hi; ++i)
+    for (idx j = j_lo; j < j_hi; ++j) {
+      auto col = f.column(i, j);
+      std::memcpy(col.data(), buf.data() + pos, nz * sizeof(real));
+      pos += nz * sizeof(real);
+    }
+}
+
+}  // namespace
+
+void exchange_halo(Comm& comm, const TileLayout& layout, RField3D& tile,
+                   int tag_base) {
+  const idx h = tile.halo();
+  const idx nx = tile.nx(), ny = tile.ny();
+  const int left = layout.neighbor(-1, 0);
+  const int right = layout.neighbor(+1, 0);
+  const int down = layout.neighbor(0, -1);
+  const int up = layout.neighbor(0, +1);
+  const int t0 = tag_base * 8;
+
+  // Phase 1: x-direction (interior j only).  A rank's left edge goes to
+  // the left neighbour's right halo and vice versa.
+  comm.send(left, t0 + 0, pack(tile, 0, h, 0, ny));
+  comm.send(right, t0 + 1, pack(tile, nx - h, nx, 0, ny));
+  unpack(comm.recv(right, t0 + 0), tile, nx, nx + h, 0, ny);
+  unpack(comm.recv(left, t0 + 1), tile, -h, 0, 0, ny);
+
+  // Phase 2: y-direction including the freshly filled x halos, which
+  // propagates the diagonal corners in the standard two-phase pattern.
+  comm.send(down, t0 + 2, pack(tile, -h, nx + h, 0, h));
+  comm.send(up, t0 + 3, pack(tile, -h, nx + h, ny - h, ny));
+  unpack(comm.recv(up, t0 + 2), tile, -h, nx + h, ny, ny + h);
+  unpack(comm.recv(down, t0 + 3), tile, -h, nx + h, -h, 0);
+}
+
+RField3D extract_tile(const RField3D& global, const TileLayout& layout,
+                      idx halo) {
+  RField3D tile(layout.nx, layout.ny, global.nz(), halo);
+  for (idx i = 0; i < layout.nx; ++i)
+    for (idx j = 0; j < layout.ny; ++j)
+      for (idx k = 0; k < global.nz(); ++k)
+        tile(i, j, k) = global(layout.x0 + i, layout.y0 + j, k);
+  return tile;
+}
+
+void insert_tile(const RField3D& tile, const TileLayout& layout,
+                 RField3D& global) {
+  for (idx i = 0; i < layout.nx; ++i)
+    for (idx j = 0; j < layout.ny; ++j)
+      for (idx k = 0; k < global.nz(); ++k)
+        global(layout.x0 + i, layout.y0 + j, k) = tile(i, j, k);
+}
+
+}  // namespace bda::hpc

@@ -1,0 +1,45 @@
+// Horizontal domain decomposition with message-passing halo exchange.
+//
+// The operational SCALE-LETKF distributes the 256x256 horizontal grid over
+// thousands of MPI ranks; every dynamics step exchanges halo columns with
+// the four neighbours.  This module provides the same decomposition over
+// the thread-backed Comm: a PX x PY process grid, local tile extents, and
+// a halo exchange for Field3D tiles that is verified (in tests) to
+// reproduce the serial periodic halo fill exactly.
+#pragma once
+
+#include "hpc/comm.hpp"
+#include "util/field.hpp"
+
+namespace bda::hpc {
+
+/// Layout of one rank's tile in a PX x PY periodic process grid over a
+/// global nx x ny domain (nx % px == 0, ny % py == 0 required).
+struct TileLayout {
+  TileLayout(int rank, int px, int py, idx global_nx, idx global_ny);
+
+  int rank, px, py;
+  int cx, cy;            ///< this rank's process-grid coordinates
+  idx nx, ny;            ///< local tile extent
+  idx x0, y0;            ///< global offset of local (0, 0)
+
+  int neighbor(int dx, int dy) const;  ///< rank at (cx+dx, cy+dy), periodic
+  static int rank_of(int cx, int cy, int px, int py);
+};
+
+/// Exchange the horizontal halos of a local tile with the four neighbours
+/// (including the diagonal corners, handled by the standard two-phase
+/// x-then-y exchange).  Blocking; all ranks must call collectively.
+/// `tag_base` separates concurrent exchanges of different fields.
+void exchange_halo(Comm& comm, const TileLayout& layout, RField3D& tile,
+                   int tag_base = 0);
+
+/// Scatter a global field into per-rank tiles (returns this rank's tile,
+/// halo uninitialized) and gather tiles back into a global field.  Utility
+/// for tests and for staging global analysis fields.
+RField3D extract_tile(const RField3D& global, const TileLayout& layout,
+                      idx halo);
+void insert_tile(const RField3D& tile, const TileLayout& layout,
+                 RField3D& global);
+
+}  // namespace bda::hpc

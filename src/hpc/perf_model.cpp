@@ -1,0 +1,135 @@
+#include "hpc/perf_model.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "letkf/letkf_core.hpp"
+#include "scale/dynamics.hpp"
+#include "scale/grid.hpp"
+#include "scale/model.hpp"
+#include "util/binary_io.hpp"
+#include "util/rng.hpp"
+
+namespace bda::hpc {
+
+namespace {
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Relative LETKF point cost: p k^2 (Y^T R^-1 Y) + alpha k^3 (eigensolve and
+/// weight products).  alpha from operation counting of tred2+tql2+3 gemms.
+double letkf_flop_units(std::size_t k, double p) {
+  constexpr double alpha = 15.0;
+  const double kd = double(k);
+  return p * kd * kd + alpha * kd * kd * kd;
+}
+}  // namespace
+
+HostCalibration calibrate_host() {
+  HostCalibration cal;
+
+  // --- model kernel: small periodic domain, a few RK3 steps.
+  {
+    scale::Grid grid(24, 24, 16, 500.0f, 12000.0f);
+    scale::ModelConfig cfg;
+    cfg.dt = 0.4f;
+    cfg.enable_rad = false;  // time the dynamical core + moist physics
+    scale::Model model(grid, scale::convective_sounding(), cfg);
+    scale::add_thermal_bubble(model.state(), grid, 6000.0f, 6000.0f, 1500.0f,
+                              2000.0f, 1000.0f, 2.0f);
+    model.step();  // warm-up
+    const int steps = 5;
+    const double t0 = now_s();
+    for (int s = 0; s < steps; ++s) model.step();
+    const double dt = now_s() - t0;
+    cal.model_cells_per_s =
+        double(grid.nx() * grid.ny() * grid.nz()) * steps / dt;
+  }
+
+  // --- LETKF kernel: weight solves at (k0, p0).
+  {
+    const std::size_t k0 = 32, p0 = 64;
+    cal.letkf_k0 = k0;
+    cal.letkf_p0 = p0;
+    Rng rng(42);
+    std::vector<float> Y(p0 * k0), d(p0), rinv(p0, 1.0f), W(k0 * k0);
+    for (auto& v : Y) v = float(rng.normal());
+    for (auto& v : d) v = float(rng.normal());
+    letkf::LetkfWorkspace<float> ws(k0);
+    letkf::letkf_weights<float>(k0, p0, Y.data(), d.data(), rinv.data(),
+                                0.95f, 1.0f, ws, W.data());  // warm-up
+    const int solves = 50;
+    const double t0 = now_s();
+    for (int s = 0; s < solves; ++s)
+      letkf::letkf_weights<float>(k0, p0, Y.data(), d.data(), rinv.data(),
+                                  0.95f, 1.0f, ws, W.data());
+    cal.letkf_points_per_s = solves / (now_s() - t0);
+  }
+
+  // --- serialization throughput (the RAM-copy transport path).
+  {
+    Field3D<float> f(32, 32, 32, 0);
+    for (idx i = 0; i < 32; ++i)
+      for (idx j = 0; j < 32; ++j)
+        for (idx k = 0; k < 32; ++k) f(i, j, k) = float(i + j + k);
+    std::vector<FieldRecord> recs;
+    recs.push_back({"calib", std::move(f)});
+    const double t0 = now_s();
+    std::size_t bytes = 0;
+    for (int it = 0; it < 20; ++it) {
+      auto buf = encode_bdf(recs);
+      bytes += buf.size();
+      auto back = decode_bdf(buf);
+      bytes += buf.size();
+    }
+    cal.serialize_bytes_per_s = double(bytes) / (now_s() - t0);
+  }
+  return cal;
+}
+
+HostCalibration reference_calibration() {
+  // Representative of calibrate_host() on a 2020s x86 core running this
+  // repository's kernels (full-physics model step; k=32, p=64 LETKF solve).
+  HostCalibration cal;
+  cal.model_cells_per_s = 6.0e5;
+  cal.letkf_points_per_s = 7.0e3;
+  cal.letkf_k0 = 32;
+  cal.letkf_p0 = 64;
+  cal.serialize_bytes_per_s = 2.0e9;
+  return cal;
+}
+
+double BdaCostModel::t_letkf(std::size_t points, std::size_t k,
+                             double mean_obs, int nodes) const {
+  const double unit0 = letkf_flop_units(cal_.letkf_k0, double(cal_.letkf_p0));
+  const double unit = letkf_flop_units(k, mean_obs);
+  const double t_point_host = (unit / unit0) / cal_.letkf_points_per_s;
+  const double rate =
+      spec_.node_speedup * double(nodes) * spec_.parallel_eff_letkf;
+  return double(points) * t_point_host / rate;
+}
+
+double BdaCostModel::t_forecast(std::size_t cells, int members, long steps,
+                                int nodes) const {
+  // model_complexity: ratio of the operational model's per-cell work (full
+  // SCALE physics, terrain metrics, wider stencils) to this reproduction's.
+  const double host_rate = cal_.model_cells_per_s / spec_.model_complexity;
+  const double rate = host_rate * spec_.node_speedup * double(nodes) *
+                      spec_.parallel_eff_model;
+  return double(cells) * double(members) * double(steps) / rate;
+}
+
+double BdaCostModel::t_transfer(double bytes, double eff_bw_bytes_per_s,
+                                double overhead_s) {
+  return overhead_s + bytes / eff_bw_bytes_per_s;
+}
+
+double BdaCostModel::t_file(double bytes, double disk_bw_bytes_per_s,
+                            double overhead_s) {
+  return overhead_s + bytes / disk_bw_bytes_per_s;
+}
+
+}  // namespace bda::hpc

@@ -1,0 +1,94 @@
+// Fugaku performance model, calibrated from this host.
+//
+// The paper's headline numbers were measured on 11,580 exclusive Fugaku
+// nodes; this reproduction runs on a workstation, so paper-scale timings are
+// *projected*: kernel throughputs (model grid-cell updates per second, LETKF
+// grid-point solves per second, serialization bandwidth) are measured on the
+// host with the real kernels in this repository, then scaled by an explicit
+// node-speedup factor and node count.  All scaling assumptions are plain
+// struct fields printed by every bench that uses them, and EXPERIMENTS.md
+// records the resulting paper-vs-projected comparison.  What the projection
+// preserves is the *shape* of Fig 5: the component breakdown, the dependence
+// of compute time on rain area (more rain -> more observations -> more
+// LETKF work), and the scheduling behaviour.
+#pragma once
+
+#include <cstddef>
+
+namespace bda::hpc {
+
+/// Host-measured kernel throughputs (single core).
+struct HostCalibration {
+  double model_cells_per_s = 0;   ///< grid-cell updates / s (one RK3 step)
+  double letkf_points_per_s = 0;  ///< LETKF point solves / s at (k0, p0)
+  std::size_t letkf_k0 = 0;       ///< ensemble size of the calibration solve
+  std::size_t letkf_p0 = 0;       ///< local obs count of the calibration
+  double serialize_bytes_per_s = 0;  ///< encode+decode throughput
+};
+
+/// Run the real kernels briefly and measure.  Deterministic work content;
+/// timing obviously varies with the host.
+HostCalibration calibrate_host();
+
+/// Scaling assumptions: host core -> Fugaku partition.
+struct FugakuSpec {
+  /// One A64FX node (48 cores) vs one host core, achieved throughput.
+  /// Assumes rough per-core parity between an A64FX core and a host core on
+  /// these memory-bound kernels.
+  double node_speedup = 48.0;
+  double parallel_eff_model = 0.85;  ///< weak-scaling efficiency, model
+  double parallel_eff_letkf = 0.70;  ///< includes obs redistribution
+  /// Ratio of the operational model's per-cell work (full SCALE physics,
+  /// terrain metrics, wider halos) to this reproduction's lighter kernels;
+  /// divides the measured host cell rate before projection.  Chosen so the
+  /// projected <2> forecast lands at the paper's ~2 minutes; all other
+  /// component projections follow from the same constant.
+  double model_complexity = 13.0;
+  int nodes_analysis = 8008;   ///< part <1> partition
+  int nodes_forecast = 880;    ///< part <2> partition
+  int nodes_outer = 2002;      ///< outer-domain partition
+};
+
+/// Component times for the paper's workflow, all in seconds.
+class BdaCostModel {
+ public:
+  BdaCostModel(HostCalibration cal, FugakuSpec spec)
+      : cal_(cal), spec_(spec) {}
+
+  /// LETKF analysis <1-1>: `points` analysis grid points with `mean_obs`
+  /// local observations each, ensemble size k, on `nodes`.
+  double t_letkf(std::size_t points, std::size_t k, double mean_obs,
+                 int nodes) const;
+
+  /// Ensemble forecast: `cells` grid cells, `members`, `steps` RK3 steps,
+  /// on `nodes` (used for <1-2>, <2> and the outer domain).
+  double t_forecast(std::size_t cells, int members, long steps,
+                    int nodes) const;
+
+  /// Network transfer with protocol overhead (JIT-DT over SINET):
+  /// t = overhead + bytes / effective_bandwidth.
+  static double t_transfer(double bytes, double eff_bw_bytes_per_s,
+                           double overhead_s);
+
+  /// File write of `bytes` at `disk_bw` (MP-PAWR file creation, product
+  /// file output on the exclusive disk volume).
+  static double t_file(double bytes, double disk_bw_bytes_per_s,
+                       double overhead_s);
+
+  const HostCalibration& calibration() const { return cal_; }
+  const FugakuSpec& spec() const { return spec_; }
+
+ private:
+  double node_rate(double host_rate, int nodes, double eff) const {
+    return host_rate * spec_.node_speedup * double(nodes) * eff;
+  }
+  HostCalibration cal_;
+  FugakuSpec spec_;
+};
+
+/// Convenience: a fixed calibration representative of a modern x86 core, so
+/// benches can run the projection reproducibly without waiting for the
+/// measurement pass (Fig 5 uses measured-when-available, fixed otherwise).
+HostCalibration reference_calibration();
+
+}  // namespace bda::hpc

@@ -1,0 +1,86 @@
+#include "hpc/transport.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace bda::hpc {
+
+namespace {
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+std::string member_path(const std::string& dir, int member) {
+  return dir + "/member_" + std::to_string(member) + ".bdf";
+}
+}  // namespace
+
+FileTransport::FileTransport(std::string staging_dir)
+    : dir_(std::move(staging_dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+TransportStats FileTransport::put(int member,
+                                  const std::vector<FieldRecord>& fields) {
+  const double t0 = now_s();
+  const std::string path = member_path(dir_, member);
+  write_bdf(path, fields);
+  TransportStats st;
+  st.seconds = now_s() - t0;
+  st.bytes = std::filesystem::file_size(path);
+  return st;
+}
+
+std::vector<FieldRecord> FileTransport::take(int member,
+                                             TransportStats* stats) {
+  const double t0 = now_s();
+  const std::string path = member_path(dir_, member);
+  if (!std::filesystem::exists(path))
+    throw std::runtime_error("FileTransport: nothing staged for member " +
+                             std::to_string(member));
+  auto recs = read_bdf(path);
+  std::filesystem::remove(path);
+  if (stats) {
+    stats->seconds = now_s() - t0;
+    stats->bytes = 0;
+    for (const auto& r : recs)
+      stats->bytes += r.data.interior_size() * sizeof(float);
+  }
+  return recs;
+}
+
+TransportStats MemoryTransport::put(int member,
+                                    const std::vector<FieldRecord>& fields) {
+  const double t0 = now_s();
+  if (member < 0) throw std::out_of_range("MemoryTransport: member < 0");
+  if (static_cast<std::size_t>(member) >= slots_.size())
+    slots_.resize(static_cast<std::size_t>(member) + 1);
+  TransportStats st;
+  for (const auto& r : fields)
+    st.bytes += r.data.interior_size() * sizeof(float);
+  // One copy into the staging queue — the RAM-copy half of the exchange.
+  slots_[static_cast<std::size_t>(member)].push_back(fields);
+  st.seconds = now_s() - t0;
+  return st;
+}
+
+std::vector<FieldRecord> MemoryTransport::take(int member,
+                                               TransportStats* stats) {
+  const double t0 = now_s();
+  if (member < 0 || static_cast<std::size_t>(member) >= slots_.size() ||
+      slots_[static_cast<std::size_t>(member)].empty())
+    throw std::runtime_error("MemoryTransport: nothing staged for member " +
+                             std::to_string(member));
+  auto recs = std::move(slots_[static_cast<std::size_t>(member)].front());
+  slots_[static_cast<std::size_t>(member)].pop_front();
+  if (stats) {
+    stats->seconds = now_s() - t0;
+    stats->bytes = 0;
+    for (const auto& r : recs)
+      stats->bytes += r.data.interior_size() * sizeof(float);
+  }
+  return recs;
+}
+
+}  // namespace bda::hpc

@@ -1,0 +1,70 @@
+// SCALE <-> LETKF ensemble-state transports.
+//
+// Conventional NWP moves data between the model and the assimilation code
+// through files ("the weather model and data assimilation codes are usually
+// developed independently, and the data transfer ... [is] made by writing
+// and reading files", Sec. 4).  At a 30-second refresh that file I/O
+// dominates, so the paper replaced it with direct parallel exchange
+// ("replacing the original file I/O with parallel I/O using the MPI data
+// transfer with RAM copy and node-to-node network communications without
+// using files").  Both paths are implemented here behind one interface so
+// the ablation bench (bench_ablation_io) measures the gap on identical
+// payloads.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/binary_io.hpp"
+
+namespace bda::hpc {
+
+struct TransportStats {
+  double seconds = 0;       ///< wall time of the last operation
+  std::size_t bytes = 0;    ///< payload moved
+};
+
+class EnsembleTransport {
+ public:
+  virtual ~EnsembleTransport() = default;
+  /// Hand one member's fields from the producer (SCALE) side.
+  virtual TransportStats put(int member,
+                             const std::vector<FieldRecord>& fields) = 0;
+  /// Take one member's fields on the consumer (LETKF) side (FIFO per
+  /// member).  Throws if nothing was put.
+  virtual std::vector<FieldRecord> take(int member, TransportStats* stats) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Legacy path: every member is serialized to a file in `staging_dir` and
+/// re-read (and re-parsed) by the consumer.
+class FileTransport final : public EnsembleTransport {
+ public:
+  explicit FileTransport(std::string staging_dir);
+  TransportStats put(int member,
+                     const std::vector<FieldRecord>& fields) override;
+  std::vector<FieldRecord> take(int member, TransportStats* stats) override;
+  const char* name() const override { return "file"; }
+
+ private:
+  std::string dir_;
+};
+
+/// Paper path: RAM copy, no file system involvement and no serialization —
+/// the field buffers are copied once into the staging queue and handed out
+/// by move, exactly the "MPI data transfer with RAM copy" data volume.
+class MemoryTransport final : public EnsembleTransport {
+ public:
+  TransportStats put(int member,
+                     const std::vector<FieldRecord>& fields) override;
+  std::vector<FieldRecord> take(int member, TransportStats* stats) override;
+  const char* name() const override { return "memory"; }
+
+ private:
+  std::vector<std::deque<std::vector<FieldRecord>>> slots_;
+};
+
+}  // namespace bda::hpc

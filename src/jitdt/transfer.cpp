@@ -1,0 +1,70 @@
+#include "jitdt/transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/binary_io.hpp"
+#include "util/logging.hpp"
+
+namespace bda::jitdt {
+
+JitDtLink::JitDtLink(JitDtConfig cfg, FaultModel faults)
+    : cfg_(cfg), faults_(faults) {}
+
+double JitDtLink::estimate_time(std::size_t bytes) const {
+  const double n_chunks = std::ceil(double(bytes) / double(cfg_.chunk_bytes));
+  return cfg_.session_overhead_s +
+         double(bytes) / cfg_.bandwidth_bytes_per_s +
+         n_chunks * cfg_.latency_s;
+}
+
+TransferResult JitDtLink::transfer(const std::vector<std::uint8_t>& data,
+                                   std::vector<std::uint8_t>& out) {
+  TransferResult res;
+  res.bytes = data.size();
+  const std::uint32_t crc_src = crc32(data.data(), data.size());
+
+  out.clear();
+  out.resize(data.size());
+
+  double clock = cfg_.session_overhead_s;
+  std::size_t acked = 0;  // bytes safely delivered (resume point)
+  int restarts = 0;
+
+  while (acked < data.size()) {
+    const std::size_t n = std::min(cfg_.chunk_bytes, data.size() - acked);
+    const bool stall =
+        faults_.stall_probability > 0.0 && faults_.rng &&
+        faults_.rng->uniform() < faults_.stall_probability;
+    if (stall) {
+      // Watchdog: no progress for stall_timeout_s -> restart the session
+      // and resume from the last acknowledged chunk.
+      clock += cfg_.stall_timeout_s;
+      ++restarts;
+      log_warn("JIT-DT: stall detected at byte ", acked, ", restart #",
+               restarts);
+      if (restarts > cfg_.max_restarts) {
+        res.success = false;
+        res.elapsed_s = clock;
+        res.restarts = restarts;
+        res.crc_ok = false;
+        log_error("JIT-DT: transfer failed after ", restarts, " restarts");
+        return res;
+      }
+      clock += cfg_.session_overhead_s;  // reconnect
+      continue;
+    }
+    std::memcpy(out.data() + acked, data.data() + acked, n);
+    acked += n;
+    clock += double(n) / cfg_.bandwidth_bytes_per_s + cfg_.latency_s;
+  }
+
+  res.success = true;
+  res.elapsed_s = clock;
+  res.restarts = restarts;
+  res.crc_ok = crc32(out.data(), out.size()) == crc_src;
+  return res;
+}
+
+}  // namespace bda::jitdt

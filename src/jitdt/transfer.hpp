@@ -1,0 +1,68 @@
+// JIT-DT: Just-In-Time Data Transfer (Ishikawa 2020; paper Sec. 5).
+//
+// In production JIT-DT watches the radar server for each newly completed
+// ~100 MB scan file and ships it immediately over SINET (400 Gbps
+// backbone) directly into the SCALE-LETKF processes on Fugaku — measured at
+// ~3 seconds per scan, dominated by session/protocol overhead rather than
+// line rate.  "For a fail-safe workflow in case of abnormal delays or
+// troubles, data transfer activities are monitored, and JIT-DT is restarted
+// automatically when necessary."
+//
+// This implementation moves real bytes (chunked, CRC-checked, resumable)
+// while accounting elapsed time on a virtual clock from a parameterized
+// channel model, so both the data path and the fail-safe logic (stall
+// detection -> restart -> resume from last acknowledged chunk) are
+// exercised deterministically in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bda::jitdt {
+
+struct JitDtConfig {
+  std::size_t chunk_bytes = 4u << 20;    ///< transfer granularity
+  double bandwidth_bytes_per_s = 250e6;  ///< effective end-to-end rate
+  double latency_s = 0.002;              ///< per-chunk acknowledgement RTT
+  double session_overhead_s = 2.0;       ///< connect + metadata handshake
+  double stall_timeout_s = 5.0;          ///< watchdog threshold
+  int max_restarts = 3;                  ///< before declaring failure
+};
+
+struct TransferResult {
+  bool success = false;
+  double elapsed_s = 0;    ///< virtual-clock transfer time
+  int restarts = 0;        ///< watchdog-triggered restarts
+  std::size_t bytes = 0;   ///< payload delivered
+  bool crc_ok = false;     ///< end-to-end integrity check
+};
+
+/// Fault injection: probability that any given chunk stalls (a stalled
+/// chunk costs the watchdog timeout and forces a session restart).
+struct FaultModel {
+  double stall_probability = 0.0;
+  Rng* rng = nullptr;  ///< required when stall_probability > 0
+};
+
+class JitDtLink {
+ public:
+  explicit JitDtLink(JitDtConfig cfg = {}, FaultModel faults = {});
+
+  /// Move `data` through the channel into `out`.  Bytes are really copied
+  /// chunk by chunk; elapsed time comes from the channel model.
+  TransferResult transfer(const std::vector<std::uint8_t>& data,
+                          std::vector<std::uint8_t>& out);
+
+  /// Closed-form fault-free transfer time for planning (Fig 5 projection).
+  double estimate_time(std::size_t bytes) const;
+
+  const JitDtConfig& config() const { return cfg_; }
+
+ private:
+  JitDtConfig cfg_;
+  FaultModel faults_;
+};
+
+}  // namespace bda::jitdt

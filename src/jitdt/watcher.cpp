@@ -1,0 +1,59 @@
+#include "jitdt/watcher.hpp"
+
+#include <chrono>
+#include <filesystem>
+
+namespace bda::jitdt {
+
+namespace fs = std::filesystem;
+
+DirectoryWatcher::DirectoryWatcher(std::string dir, std::string extension,
+                                   double poll_interval_s)
+    : dir_(std::move(dir)), ext_(std::move(extension)),
+      interval_s_(poll_interval_s) {}
+
+DirectoryWatcher::~DirectoryWatcher() { stop(); }
+
+std::vector<std::string> DirectoryWatcher::poll_once() {
+  std::vector<std::string> ready;
+  if (!fs::exists(dir_)) return ready;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    if (entry.path().extension() != ext_) continue;
+    if (seen_.count(path)) continue;
+    const auto size = entry.file_size();
+    const auto it = pending_.find(path);
+    if (it == pending_.end()) {
+      pending_[path] = size;  // first sighting: wait for stability
+      continue;
+    }
+    if (it->second == size) {
+      seen_.insert(path);
+      pending_.erase(it);
+      ready.push_back(path);
+    } else {
+      it->second = size;  // still growing
+    }
+  }
+  return ready;
+}
+
+void DirectoryWatcher::start(Callback cb) {
+  stop();
+  running_ = true;
+  thread_ = std::thread([this, cb = std::move(cb)] {
+    while (running_) {
+      for (const auto& path : poll_once()) cb(path);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(interval_s_));
+    }
+  });
+}
+
+void DirectoryWatcher::stop() {
+  running_ = false;
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace bda::jitdt

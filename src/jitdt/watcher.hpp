@@ -1,0 +1,51 @@
+// Directory watcher: the front end of JIT-DT.
+//
+// "JIT-DT monitors the new data file creation and transfers it immediately"
+// — the radar server writes a scan file; the watcher notices it and hands
+// the path to a callback (the transfer stage).  Polling-based for
+// portability; a file is reported once, after its size has been stable for
+// one poll interval (the radar writes scans atomically via rename in
+// production, but stability-checking also covers plain writes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bda::jitdt {
+
+class DirectoryWatcher {
+ public:
+  using Callback = std::function<void(const std::string& path)>;
+
+  /// Watch `dir` for files with `extension` (e.g. ".pwr"), polling every
+  /// `poll_interval_s`.
+  DirectoryWatcher(std::string dir, std::string extension,
+                   double poll_interval_s = 0.05);
+  ~DirectoryWatcher();
+  DirectoryWatcher(const DirectoryWatcher&) = delete;
+  DirectoryWatcher& operator=(const DirectoryWatcher&) = delete;
+
+  /// Start the watch thread; each new stable file fires `cb` exactly once.
+  void start(Callback cb);
+  void stop();
+
+  /// One synchronous poll (for deterministic tests): returns newly stable
+  /// files and marks them seen.
+  std::vector<std::string> poll_once();
+
+ private:
+  std::string dir_, ext_;
+  double interval_s_;
+  std::set<std::string> seen_;
+  std::map<std::string, std::uintmax_t> pending_;  // path -> last size
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace bda::jitdt

@@ -1,0 +1,24 @@
+#include "letkf/adaptive_inflation.hpp"
+
+#include <algorithm>
+
+namespace bda::letkf {
+
+AdaptiveInflation::AdaptiveInflation(real rho_init, real smoothing,
+                                     real rho_min, real rho_max)
+    : rho_(rho_init), smoothing_(smoothing), rho_min_(rho_min),
+      rho_max_(rho_max) {}
+
+double AdaptiveInflation::estimate(const InnovationMoments& m) {
+  if (m.n_obs == 0 || m.mean_ens_var <= 1e-12) return 1.0;
+  return (m.mean_innov2 - m.mean_obs_var) / m.mean_ens_var;
+}
+
+void AdaptiveInflation::update(const InnovationMoments& m) {
+  const double inst = estimate(m);
+  const double blended =
+      double(rho_) * (1.0 - double(smoothing_)) + inst * double(smoothing_);
+  rho_ = std::clamp(real(blended), rho_min_, rho_max_);
+}
+
+}  // namespace bda::letkf

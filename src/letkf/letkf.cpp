@@ -1,0 +1,213 @@
+#include "letkf/letkf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "letkf/letkf_core.hpp"
+
+namespace bda::letkf {
+
+Letkf::Letkf(const scale::Grid& grid, LetkfConfig cfg)
+    : grid_(grid), cfg_(cfg) {}
+
+AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
+                             const ObsOperator& op) const {
+  const std::size_t k = static_cast<std::size_t>(ens.size());
+  AnalysisStats stats;
+  stats.n_obs_in = obs_in.size();
+  if (k < 2 || obs_in.empty()) return stats;
+
+  // ---- H(x) for every (obs, member): hx[n*k + m].  The ensemble-mean
+  // equivalent and innovation follow; gross-error QC drops outliers.
+  const std::size_t n_all = obs_in.size();
+  std::vector<real> hx(n_all * k);
+#pragma omp parallel for
+  for (std::size_t n = 0; n < n_all; ++n)
+    for (std::size_t m = 0; m < k; ++m)
+      hx[n * k + m] = op.apply(ens.member(static_cast<int>(m)), obs_in[n]);
+
+  ObsVector obs;
+  obs.reserve(n_all);
+  std::vector<real> ymean;  // mean H(x) per kept obs
+  std::vector<std::size_t> keep;
+  double sum_abs_inno = 0.0;
+  for (std::size_t n = 0; n < n_all; ++n) {
+    real mean = 0;
+    for (std::size_t m = 0; m < k; ++m) mean += hx[n * k + m];
+    mean /= real(k);
+    const real inno = obs_in[n].value - mean;
+    const real thresh = obs_in[n].type == ObsType::kReflectivity
+                            ? cfg_.gross_refl
+                            : cfg_.gross_dopp;
+    const bool clear_air_report =
+        obs_in[n].type == ObsType::kReflectivity &&
+        obs_in[n].value < cfg_.clear_air_below;
+    if (!clear_air_report && std::abs(inno) > thresh) {
+      ++stats.n_obs_qc;
+      continue;
+    }
+    keep.push_back(n);
+    obs.push_back(obs_in[n]);
+    ymean.push_back(mean);
+    sum_abs_inno += std::abs(inno);
+  }
+  if (obs.empty()) return stats;
+  stats.mean_abs_innovation = sum_abs_inno / double(obs.size());
+
+  // Compact observation-space perturbations for kept obs: yp[n*k + m].
+  const std::size_t n_obs = obs.size();
+  std::vector<real> yp(n_obs * k);
+  for (std::size_t n = 0; n < n_obs; ++n) {
+    const std::size_t src = keep[n];
+    for (std::size_t m = 0; m < k; ++m)
+      yp[n * k + m] = hx[src * k + m] - ymean[n];
+  }
+
+  // Innovation-consistency moments (Desroziers): feed AdaptiveInflation.
+  {
+    double d2 = 0, rr = 0, hh = 0;
+    for (std::size_t n = 0; n < n_obs; ++n) {
+      const double d = double(obs[n].value) - double(ymean[n]);
+      d2 += d * d;
+      rr += double(obs[n].error) * double(obs[n].error);
+      double var = 0;
+      for (std::size_t m = 0; m < k; ++m)
+        var += double(yp[n * k + m]) * double(yp[n * k + m]);
+      hh += var / double(k - 1);
+    }
+    stats.moments.n_obs = n_obs;
+    stats.moments.mean_innov2 = d2 / double(n_obs);
+    stats.moments.mean_obs_var = rr / double(n_obs);
+    stats.moments.mean_ens_var = hh / double(n_obs);
+  }
+
+  const real cutoff_h = 2 * cfg_.hloc;
+  const real cutoff_v = 2 * cfg_.vloc;
+  ObsIndex index(obs, cutoff_h);
+
+  const idx nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+
+  std::size_t grid_updated = 0;
+  double local_obs_sum = 0.0;
+
+#pragma omp parallel reduction(+ : grid_updated, local_obs_sum)
+  {
+    LetkfWorkspace<real> ws(k);
+    std::vector<real> W(k * k);
+    std::vector<std::size_t> cand;
+    std::vector<real> y_loc, d_loc, rinv_loc;
+    std::vector<std::pair<real, std::size_t>> ranked;
+    std::vector<real> xb(k), xa(k);
+
+#pragma omp for collapse(2) schedule(dynamic, 4)
+    for (idx i = 0; i < nx; ++i)
+      for (idx j = 0; j < ny; ++j) {
+        cand.clear();
+        index.query(grid_.xc(i), grid_.yc(j), cutoff_h, cand);
+        if (cand.empty()) continue;
+
+        for (idx kk = 0; kk < nz; ++kk) {
+          const real zc = grid_.zc(kk);
+          if (zc < cfg_.z_min || zc > cfg_.z_max) continue;
+
+          // Rank candidate obs by localization distance; keep the nearest
+          // max_obs_per_grid (Table 2).
+          ranked.clear();
+          for (std::size_t c : cand) {
+            const auto& o = obs[c];
+            const real dz = o.z - zc;
+            if (std::abs(dz) > cutoff_v) continue;
+            const real dx = o.x - grid_.xc(i);
+            const real dy = o.y - grid_.yc(j);
+            const real rh = std::sqrt(dx * dx + dy * dy) / cfg_.hloc;
+            const real rv = std::abs(dz) / cfg_.vloc;
+            const real w = gaspari_cohn(rh) * gaspari_cohn(rv);
+            if (w < real(1e-4)) continue;
+            // Smaller combined normalized distance = higher priority.
+            ranked.emplace_back(rh * rh + rv * rv, c);
+          }
+          if (ranked.empty()) continue;
+          const std::size_t cap =
+              static_cast<std::size_t>(cfg_.max_obs_per_grid);
+          if (ranked.size() > cap) {
+            std::nth_element(ranked.begin(), ranked.begin() + cap,
+                             ranked.end());
+            ranked.resize(cap);
+          }
+
+          const std::size_t p = ranked.size();
+          y_loc.resize(p * k);
+          d_loc.resize(p);
+          rinv_loc.resize(p);
+          for (std::size_t n = 0; n < p; ++n) {
+            const std::size_t c = ranked[n].second;
+            const auto& o = obs[c];
+            const real dx = o.x - grid_.xc(i);
+            const real dy = o.y - grid_.yc(j);
+            const real rh = std::sqrt(dx * dx + dy * dy) / cfg_.hloc;
+            const real rv = std::abs(o.z - zc) / cfg_.vloc;
+            const real w = gaspari_cohn(rh) * gaspari_cohn(rv);
+            rinv_loc[n] = w / (o.error * o.error);
+            d_loc[n] = o.value - ymean[c];
+            std::copy_n(&yp[c * k], k, &y_loc[n * k]);
+          }
+
+          if (!letkf_weights<real>(k, p, y_loc.data(), d_loc.data(),
+                                   rinv_loc.data(), cfg_.rtpp_alpha,
+                                   cfg_.infl_rho, ws, W.data()))
+            continue;
+
+          ++grid_updated;
+          local_obs_sum += double(p);
+
+          // Apply W to every state variable at (i, j, kk).
+          auto update = [&](auto&& get, auto&& set) {
+            real mean = 0;
+            for (std::size_t m = 0; m < k; ++m) {
+              xb[m] = get(static_cast<int>(m));
+              mean += xb[m];
+            }
+            mean /= real(k);
+            for (std::size_t m = 0; m < k; ++m) xb[m] -= mean;
+            for (std::size_t m = 0; m < k; ++m) {
+              real s = mean;
+              for (std::size_t l = 0; l < k; ++l) s += xb[l] * W[l * k + m];
+              set(static_cast<int>(m), s);
+            }
+          };
+
+          update([&](int m) { return ens.member(m).rhot(i, j, kk); },
+                 [&](int m, real v) { ens.member(m).rhot(i, j, kk) = v; });
+          update([&](int m) { return ens.member(m).dens(i, j, kk); },
+                 [&](int m, real v) {
+                   ens.member(m).dens(i, j, kk) = std::max(v, real(1e-3));
+                 });
+          for (int t = 0; t < scale::kNumTracers; ++t)
+            update(
+                [&](int m) { return ens.member(m).rhoq[t](i, j, kk); },
+                [&](int m, real v) {
+                  ens.member(m).rhoq[t](i, j, kk) = std::max(v, real(0));
+                });
+          if (cfg_.update_momentum) {
+            update([&](int m) { return ens.member(m).momx(i, j, kk); },
+                   [&](int m, real v) { ens.member(m).momx(i, j, kk) = v; });
+            update([&](int m) { return ens.member(m).momy(i, j, kk); },
+                   [&](int m, real v) { ens.member(m).momy(i, j, kk) = v; });
+            update([&](int m) { return ens.member(m).momz(i, j, kk); },
+                   [&](int m, real v) { ens.member(m).momz(i, j, kk) = v; });
+          }
+        }
+      }
+  }
+
+  stats.n_grid_updated = grid_updated;
+  if (grid_updated)
+    stats.mean_local_obs = local_obs_sum / double(grid_updated);
+
+  // Refresh halos after the point-wise updates.
+  for (int m = 0; m < ens.size(); ++m) ens.member(m).fill_halos_periodic();
+  return stats;
+}
+
+}  // namespace bda::letkf

@@ -1,0 +1,108 @@
+// Ensemble-space LETKF solver (Hunt, Kostelich & Szunyogh 2007).
+//
+// Everything here operates in the k-dimensional ensemble space of one
+// analysis grid point; the driver (letkf.hpp) gathers local observations
+// and applies the resulting weight matrix to every state variable at that
+// point.  Templated on the scalar type: the paper's production
+// configuration runs this in single precision.
+//
+// Given the local observation-space ensemble perturbations Y (p x k),
+// innovations d (p), and localized inverse observation variances rinv (p):
+//   A     = (k-1) I / rho + Y^T diag(rinv) Y        (ensemble-space precision)
+//   A     = Q diag(lambda) Q^T                      (symmetric eigensolve)
+//   Pa    = Q diag(1/lambda) Q^T
+//   wbar  = Pa Y^T diag(rinv) d                     (mean update weights)
+//   Wp    = Q diag(sqrt((k-1)/lambda)) Q^T          (perturbation weights)
+//   Wp   <- alpha I + (1 - alpha) Wp                (RTPP relaxation,
+//                                                    Table 2: alpha = 0.95)
+//   W[:,m] = wbar + Wp[:,m]
+// so the analysis member m is  x_m^a = xbar^b + X'b W[:,m].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "letkf/eigen.hpp"
+
+namespace bda::letkf {
+
+/// Reusable per-thread scratch for letkf_weights; sized for `k` members.
+template <typename T>
+struct LetkfWorkspace {
+  explicit LetkfWorkspace(std::size_t k)
+      : a(k * k), q(k * k), pa(k * k), cd(k), wbar(k), tmp(k), eig(k) {}
+  std::vector<T> a, q, pa, cd, wbar, tmp;
+  BatchedSymEigen<T> eig;
+};
+
+/// Compute the k x k LETKF weight matrix W (column m = weights of member m,
+/// mean update included).  Y is row-major p x k; rinv holds the
+/// localization-weighted inverse observation variances.  rho is the
+/// multiplicative covariance inflation (1 = none; the paper relies on RTPP
+/// instead).  Returns false only on eigensolver non-convergence.
+template <typename T>
+bool letkf_weights(std::size_t k, std::size_t p, const T* Y, const T* d,
+                   const T* rinv, T rtpp_alpha, T rho,
+                   LetkfWorkspace<T>& ws, T* W) {
+  // A = (k-1)/rho I + Y^T diag(rinv) Y  (build upper triangle, mirror).
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i; j < k; ++j) {
+      T s = (i == j) ? T(k - 1) / rho : T(0);
+      for (std::size_t n = 0; n < p; ++n)
+        s += Y[n * k + i] * rinv[n] * Y[n * k + j];
+      ws.a[i * k + j] = s;
+      ws.a[j * k + i] = s;
+    }
+
+  // Eigendecomposition (a is overwritten with eigenvectors; wbar reused as
+  // the eigenvalue array until it is recomputed below).
+  std::vector<T>& evec = ws.a;
+  std::vector<T>& eval = ws.tmp;
+  if (!ws.eig.solve(evec.data(), eval.data())) return false;
+
+  // Guard: A is SPD by construction; clamp tiny eigenvalues against
+  // single-precision round-off.
+  const T floor_ev = T(1e-6) * T(k - 1);
+  for (std::size_t i = 0; i < k; ++i)
+    if (eval[i] < floor_ev) eval[i] = floor_ev;
+
+  // cd = Y^T diag(rinv) d.
+  for (std::size_t i = 0; i < k; ++i) {
+    T s = T(0);
+    for (std::size_t n = 0; n < p; ++n) s += Y[n * k + i] * rinv[n] * d[n];
+    ws.cd[i] = s;
+  }
+
+  // wbar = Q diag(1/lambda) Q^T cd.
+  for (std::size_t j = 0; j < k; ++j) {
+    T s = T(0);
+    for (std::size_t i = 0; i < k; ++i) s += evec[i * k + j] * ws.cd[i];
+    ws.pa[j] = s / eval[j];  // pa[0..k) temporarily holds Q^T cd / lambda
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    T s = T(0);
+    for (std::size_t j = 0; j < k; ++j) s += evec[i * k + j] * ws.pa[j];
+    ws.wbar[i] = s;
+  }
+
+  // W = alpha I + (1-alpha) Q diag(sqrt((k-1)/lambda)) Q^T, then add wbar
+  // to every column.  ws.q holds Q scaled by sqrt((k-1)/lambda) per column.
+  const T one_m_alpha = T(1) - rtpp_alpha;
+  for (std::size_t j = 0; j < k; ++j) {
+    const T sc = std::sqrt(T(k - 1) / eval[j]);
+    for (std::size_t i = 0; i < k; ++i)
+      ws.q[i * k + j] = evec[i * k + j] * sc;
+  }
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t m = 0; m < k; ++m) {
+      T s = T(0);
+      for (std::size_t j = 0; j < k; ++j)
+        s += ws.q[i * k + j] * evec[m * k + j];
+      T wp = one_m_alpha * s;
+      if (i == m) wp += rtpp_alpha;
+      W[i * k + m] = wp + ws.wbar[i];
+    }
+  return true;
+}
+
+}  // namespace bda::letkf

@@ -1,0 +1,35 @@
+// Observation types assimilated by the LETKF.
+//
+// The BDA system assimilates the MP-PAWR's two directly observed
+// quantities — radar reflectivity and Doppler (radial) velocity — already
+// regridded to the 500-m analysis grid (Table 2: "Regridded observation
+// resolution: 500 m").  Positions are in the model's local Cartesian
+// coordinates [m].
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bda::letkf {
+
+enum class ObsType { kReflectivity, kDopplerVelocity };
+
+struct Observation {
+  ObsType type = ObsType::kReflectivity;
+  real x = 0, y = 0, z = 0;  ///< position [m]
+  real value = 0;            ///< dBZ or m/s
+  real error = 1;            ///< observation error standard deviation
+
+  /// Radar site the sample came from.  Doppler velocity is a *radial*
+  /// quantity, so with more than one radar (the paper's Expo 2025 dual
+  /// MP-PAWR deployment and the Kyushu network OSSE of ref [42]) each
+  /// observation must carry its own beam origin.  When `own_origin` is
+  /// false the ObsOperator's default site is used.
+  real rx = 0, ry = 0, rz = 0;
+  bool own_origin = false;
+};
+
+using ObsVector = std::vector<Observation>;
+
+}  // namespace bda::letkf

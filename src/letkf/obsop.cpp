@@ -1,0 +1,49 @@
+#include "letkf/obsop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bda::letkf {
+
+ObsOperator::ObsOperator(const scale::Grid& grid, real radar_x, real radar_y,
+                         real radar_z, scale::MicroParams micro)
+    : grid_(grid), rx_(radar_x), ry_(radar_y), rz_(radar_z), micro_(micro) {}
+
+void ObsOperator::locate(real x, real y, real z, idx& i, idx& j,
+                         idx& k) const {
+  i = std::clamp<idx>(static_cast<idx>(x / grid_.dx()), 0, grid_.nx() - 1);
+  j = std::clamp<idx>(static_cast<idx>(y / grid_.dx()), 0, grid_.ny() - 1);
+  // Vertical: linear scan is fine (nz <= 60, called per obs per member);
+  // levels are monotone so a binary search would also work.
+  k = grid_.nz() - 1;
+  for (idx kk = 0; kk < grid_.nz(); ++kk)
+    if (z < grid_.zf(kk + 1)) {
+      k = kk;
+      break;
+    }
+}
+
+real ObsOperator::apply(const scale::State& state,
+                        const Observation& ob) const {
+  idx i, j, k;
+  locate(ob.x, ob.y, ob.z, i, j, k);
+  if (ob.type == ObsType::kReflectivity)
+    return scale::cell_reflectivity_dbz(state, i, j, k);
+
+  // Doppler velocity: radial unit vector from the originating radar to the
+  // observation (multi-radar obs carry their own site).
+  const real ox = ob.own_origin ? ob.rx : rx_;
+  const real oy = ob.own_origin ? ob.ry : ry_;
+  const real oz = ob.own_origin ? ob.rz : rz_;
+  real ex = ob.x - ox, ey = ob.y - oy, ez = ob.z - oz;
+  const real norm = std::sqrt(ex * ex + ey * ey + ez * ez);
+  if (norm < real(1)) return 0;  // directly over the radar: undefined
+  ex /= norm;
+  ey /= norm;
+  ez /= norm;
+  const real vt = scale::cell_fall_speed(state, micro_, i, j, k);
+  return ex * state.u(i, j, k) + ey * state.v(i, j, k) +
+         ez * (state.w(i, j, k) - vt);
+}
+
+}  // namespace bda::letkf

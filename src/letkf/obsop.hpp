@@ -1,0 +1,44 @@
+// Observation (forward) operators H(x).
+//
+// Maps a model state to the observed quantities at an observation location:
+//   * reflectivity  — the Stoelinga-style dBZ diagnostic from the
+//     precipitating hydrometeors at the enclosing grid cell (observations
+//     are pre-regridded to the analysis grid, so nearest-cell is exact);
+//   * Doppler velocity — the projection of (u, v, w - v_t) on the unit
+//     vector from the radar to the observation point, v_t the
+//     mass-weighted hydrometeor fall speed.
+// This is the "direct" radar assimilation of the paper (Table 1, bottom
+// row), as opposed to the indirect RH / latent-heating proxies of the
+// operational systems above it.
+#pragma once
+
+#include "letkf/obs.hpp"
+#include "scale/grid.hpp"
+#include "scale/microphysics.hpp"
+#include "scale/state.hpp"
+
+namespace bda::letkf {
+
+class ObsOperator {
+ public:
+  /// `radar_x/y/z`: radar position in model coordinates [m].
+  ObsOperator(const scale::Grid& grid, real radar_x, real radar_y,
+              real radar_z, scale::MicroParams micro = {});
+
+  /// Evaluate H(state) for one observation.
+  real apply(const scale::State& state, const Observation& ob) const;
+
+  /// Locate the grid cell enclosing a position (clamped to the domain).
+  void locate(real x, real y, real z, idx& i, idx& j, idx& k) const;
+
+  real radar_x() const { return rx_; }
+  real radar_y() const { return ry_; }
+  real radar_z() const { return rz_; }
+
+ private:
+  const scale::Grid& grid_;
+  real rx_, ry_, rz_;
+  scale::MicroParams micro_;
+};
+
+}  // namespace bda::letkf

@@ -1,0 +1,103 @@
+#include "pawr/datafile.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/binary_io.hpp"
+
+namespace bda::pawr {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'W', 'R', '1'};
+
+template <typename T>
+void put(std::vector<std::uint8_t>& buf, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T take(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
+  if (pos + sizeof(T) > buf.size())
+    throw std::runtime_error("PWR1: truncated");
+  T v;
+  std::memcpy(&v, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode_scan(const VolumeScan& vs) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(vs.payload_bytes() + 64);
+  buf.insert(buf.end(), kMagic, kMagic + 4);
+  put<double>(buf, vs.t_obs);
+  put<float>(buf, vs.cfg.range_max);
+  put<float>(buf, vs.cfg.gate_length);
+  put<std::int32_t>(buf, vs.cfg.n_azimuth);
+  put<std::int32_t>(buf, vs.cfg.n_elevation);
+  put<float>(buf, vs.cfg.elev_max_deg);
+  put<double>(buf, vs.cfg.period_s);
+  const auto* pr = reinterpret_cast<const std::uint8_t*>(vs.reflectivity.data());
+  buf.insert(buf.end(), pr, pr + vs.reflectivity.size() * sizeof(float));
+  const auto* pd = reinterpret_cast<const std::uint8_t*>(vs.doppler.data());
+  buf.insert(buf.end(), pd, pd + vs.doppler.size() * sizeof(float));
+  buf.insert(buf.end(), vs.flag.begin(), vs.flag.end());
+  put<std::uint32_t>(buf, crc32(buf.data(), buf.size()));
+  return buf;
+}
+
+VolumeScan decode_scan(const std::vector<std::uint8_t>& buf) {
+  if (buf.size() < 44) throw std::runtime_error("PWR1: too short");
+  if (std::memcmp(buf.data(), kMagic, 4) != 0)
+    throw std::runtime_error("PWR1: bad magic");
+  std::uint32_t stored;
+  std::memcpy(&stored, buf.data() + buf.size() - 4, 4);
+  if (crc32(buf.data(), buf.size() - 4) != stored)
+    throw std::runtime_error("PWR1: CRC mismatch");
+
+  std::size_t pos = 4;
+  const double t_obs = take<double>(buf, pos);
+  ScanConfig cfg;
+  cfg.range_max = take<float>(buf, pos);
+  cfg.gate_length = take<float>(buf, pos);
+  cfg.n_azimuth = take<std::int32_t>(buf, pos);
+  cfg.n_elevation = take<std::int32_t>(buf, pos);
+  cfg.elev_max_deg = take<float>(buf, pos);
+  cfg.period_s = take<double>(buf, pos);
+  if (cfg.n_azimuth <= 0 || cfg.n_elevation <= 0 || cfg.gate_length <= 0)
+    throw std::runtime_error("PWR1: bad geometry");
+
+  VolumeScan vs(cfg);
+  vs.t_obs = t_obs;
+  const std::size_t n = vs.n_samples();
+  const std::size_t need = n * (2 * sizeof(float) + 1);
+  if (pos + need + 4 != buf.size())
+    throw std::runtime_error("PWR1: size mismatch");
+  std::memcpy(vs.reflectivity.data(), buf.data() + pos, n * sizeof(float));
+  pos += n * sizeof(float);
+  std::memcpy(vs.doppler.data(), buf.data() + pos, n * sizeof(float));
+  pos += n * sizeof(float);
+  std::memcpy(vs.flag.data(), buf.data() + pos, n);
+  return vs;
+}
+
+void write_scan(const std::string& path, const VolumeScan& vs) {
+  const auto buf = encode_scan(vs);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("PWR1: cannot open " + path);
+  f.write(reinterpret_cast<const char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  if (!f) throw std::runtime_error("PWR1: write failed " + path);
+}
+
+VolumeScan read_scan(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("PWR1: cannot open " + path);
+  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(f)),
+                                std::istreambuf_iterator<char>());
+  return decode_scan(buf);
+}
+
+}  // namespace bda::pawr

@@ -1,0 +1,28 @@
+// Volume-scan file format ("PWR1").
+//
+// The operational workflow materializes each completed scan as a file on a
+// server at Saitama University; JIT-DT watches for the file and ships it to
+// Fugaku.  This format is what our JIT-DT moves: little-endian header
+// (magic, T_obs, geometry) + reflectivity + doppler + flags + CRC32.
+// At ScanConfig::paper_scale() the file is ~100 MB, matching the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pawr/scan.hpp"
+
+namespace bda::pawr {
+
+/// Serialize to bytes (including trailing CRC32).
+std::vector<std::uint8_t> encode_scan(const VolumeScan& vs);
+
+/// Parse; throws std::runtime_error on bad magic/CRC/truncation.
+VolumeScan decode_scan(const std::vector<std::uint8_t>& buf);
+
+/// Write/read scan files.
+void write_scan(const std::string& path, const VolumeScan& vs);
+VolumeScan read_scan(const std::string& path);
+
+}  // namespace bda::pawr

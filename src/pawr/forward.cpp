@@ -1,0 +1,91 @@
+#include "pawr/forward.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bda::pawr {
+
+RadarSimulator::RadarSimulator(const scale::Grid& grid, ScanConfig scan,
+                               RadarSimConfig cfg)
+    : grid_(grid), scan_(scan), cfg_(cfg) {}
+
+VolumeScan RadarSimulator::observe(const scale::State& truth, double t_obs,
+                                   Rng& rng) const {
+  VolumeScan vs(scan_);
+  vs.t_obs = t_obs;
+
+  const real lx = grid_.extent_x(), ly = grid_.extent_y();
+  const real ztop = grid_.ztop();
+
+  for (int e = 0; e < scan_.n_elevation; ++e)
+    for (int a = 0; a < scan_.n_azimuth; ++a) {
+      const real az_deg = real(a) / real(scan_.n_azimuth) * 360.0f;
+      const bool blocked =
+          az_deg >= cfg_.block_az_from && az_deg < cfg_.block_az_to;
+      // Two-way path-integrated attenuation accumulated gate by gate
+      // (gates are scanned outward along the beam).
+      real pia_db = 0;
+      for (int g = 0; g < scan_.n_gate(); ++g) {
+        const std::size_t n = vs.index(e, a, g);
+        real dx, dy, dz;
+        vs.sample_position(e, a, g, dx, dy, dz);
+        const real x = cfg_.radar_x + dx;
+        const real y = cfg_.radar_y + dy;
+        const real z = cfg_.radar_z + dz;
+        if (x < 0 || x >= lx || y < 0 || y >= ly || z >= ztop) {
+          vs.flag[n] = kOutOfDomain;
+          continue;
+        }
+        if (blocked) {
+          vs.flag[n] = kBeamBlocked;
+          continue;
+        }
+        if (z < cfg_.clutter_height) {
+          vs.flag[n] = kClutter;
+          continue;
+        }
+        // Nearest model cell (the 500-m analysis-grid regridding downstream
+        // re-averages anyway).
+        const idx i =
+            std::clamp<idx>(static_cast<idx>(x / grid_.dx()), 0,
+                            grid_.nx() - 1);
+        const idx j =
+            std::clamp<idx>(static_cast<idx>(y / grid_.dx()), 0,
+                            grid_.ny() - 1);
+        idx kz = grid_.nz() - 1;
+        for (idx kk = 0; kk < grid_.nz(); ++kk)
+          if (z < grid_.zf(kk + 1)) {
+            kz = kk;
+            break;
+          }
+        real dbz_true = scale::cell_reflectivity_dbz(truth, i, j, kz);
+        if (cfg_.attenuation) {
+          // Attenuate by the path so far, then add this gate's own
+          // contribution to the two-way attenuation behind it.
+          dbz_true -= pia_db;
+          const real zlin =
+              std::pow(real(10), std::min(dbz_true, real(70)) / real(10));
+          const real k_db_per_km =
+              cfg_.atten_coef * std::pow(std::max(zlin, real(0)),
+                                         cfg_.atten_exp);
+          pia_db += real(2) * k_db_per_km * scan_.gate_length / real(1000);
+        }
+        const real dbz = dbz_true + cfg_.noise_refl * real(rng.normal());
+        vs.reflectivity[n] = float(dbz);
+
+        // Radial velocity along the beam unit vector.
+        const real r = std::sqrt(dx * dx + dy * dy + dz * dz);
+        if (r > real(1)) {
+          const real vt =
+              scale::cell_fall_speed(truth, cfg_.micro, i, j, kz);
+          const real vr = (dx * truth.u(i, j, kz) + dy * truth.v(i, j, kz) +
+                           dz * (truth.w(i, j, kz) - vt)) /
+                          r;
+          vs.doppler[n] = float(vr + cfg_.noise_dopp * real(rng.normal()));
+        }
+      }
+    }
+  return vs;
+}
+
+}  // namespace bda::pawr

@@ -1,0 +1,56 @@
+// Radar simulator: produce a VolumeScan from a model state.
+//
+// This is the substitution for the live MP-PAWR feed (DESIGN.md): a
+// high-resolution "nature run" of the model plays the real atmosphere, and
+// this simulator observes it exactly the way the radar would — sampling
+// reflectivity and radial velocity along beams, adding instrument noise,
+// masking blocked sectors, cluttered low gates and out-of-range samples
+// (the hatched regions of the paper's Fig 6b).
+#pragma once
+
+#include "pawr/scan.hpp"
+#include "scale/grid.hpp"
+#include "scale/microphysics.hpp"
+#include "scale/state.hpp"
+#include "util/rng.hpp"
+
+namespace bda::pawr {
+
+struct RadarSimConfig {
+  real radar_x = 0, radar_y = 0, radar_z = 50.0f;  ///< site [m, model coords]
+  real noise_refl = 1.0f;    ///< instrument noise sd [dBZ]
+  real noise_dopp = 0.5f;    ///< instrument noise sd [m/s]
+  real clutter_height = 200.0f;  ///< gates below this are flagged clutter
+  /// Blocked azimuth sector [deg, deg) — e.g. a building; empty if equal.
+  real block_az_from = 200.0f;
+  real block_az_to = 215.0f;
+  /// X-band path attenuation.  MP-PAWR operates at X band, where heavy rain
+  /// along the beam attenuates the signal measurably (one reason the
+  /// multi-parameter upgrade and dual coverage matter).  Two-way specific
+  /// attenuation is modeled as k [dB/km] = atten_coef * Zlin^atten_exp with
+  /// Zlin the linear reflectivity (mm^6/m^3) at the gate.
+  bool attenuation = false;
+  real atten_coef = 1.4e-4f;
+  real atten_exp = 0.78f;
+  scale::MicroParams micro;  ///< fall-speed law for Doppler
+};
+
+class RadarSimulator {
+ public:
+  RadarSimulator(const scale::Grid& grid, ScanConfig scan,
+                 RadarSimConfig cfg = {});
+
+  /// Observe `truth` at time t_obs into a fresh scan (deterministic given
+  /// the rng state).
+  VolumeScan observe(const scale::State& truth, double t_obs, Rng& rng) const;
+
+  const ScanConfig& scan_config() const { return scan_; }
+  const RadarSimConfig& config() const { return cfg_; }
+
+ private:
+  const scale::Grid& grid_;
+  ScanConfig scan_;
+  RadarSimConfig cfg_;
+};
+
+}  // namespace bda::pawr

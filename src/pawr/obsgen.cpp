@@ -1,0 +1,102 @@
+#include "pawr/obsgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace bda::pawr {
+
+namespace {
+struct CellAccum {
+  double refl_sum = 0;
+  double dopp_sum = 0;
+  int refl_n = 0;
+  int dopp_n = 0;
+  float max_refl = -100.0f;
+};
+}  // namespace
+
+letkf::ObsVector regrid_scan(const VolumeScan& scan, const scale::Grid& grid,
+                             real radar_x, real radar_y, real radar_z,
+                             const ObsGenConfig& cfg) {
+  const idx nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  // Accumulate polar samples into grid cells; flat map keyed by cell index.
+  std::unordered_map<std::size_t, CellAccum> cells;
+  cells.reserve(scan.n_samples() / 8);
+
+  for (int e = 0; e < scan.cfg.n_elevation; ++e)
+    for (int a = 0; a < scan.cfg.n_azimuth; ++a)
+      for (int g = 0; g < scan.cfg.n_gate(); ++g) {
+        const std::size_t n = scan.index(e, a, g);
+        if (scan.flag[n] != kValid) continue;
+        real dx, dy, dz;
+        scan.sample_position(e, a, g, dx, dy, dz);
+        const real x = radar_x + dx;
+        const real y = radar_y + dy;
+        const real z = radar_z + dz;
+        if (z < cfg.z_min || z > cfg.z_max) continue;
+        const idx i = static_cast<idx>(x / grid.dx());
+        const idx j = static_cast<idx>(y / grid.dx());
+        if (i < 0 || i >= nx || j < 0 || j >= ny) continue;
+        idx k = -1;
+        for (idx kk = 0; kk < nz; ++kk)
+          if (z < grid.zf(kk + 1)) {
+            k = kk;
+            break;
+          }
+        if (k < 0) continue;
+        const std::size_t key =
+            (static_cast<std::size_t>(i) * ny + j) * nz + k;
+        auto& c = cells[key];
+        c.refl_sum += scan.reflectivity[n];
+        c.refl_n += 1;
+        c.max_refl = std::max(c.max_refl, scan.reflectivity[n]);
+        if (scan.reflectivity[n] >= cfg.doppler_min_refl) {
+          c.dopp_sum += scan.doppler[n];
+          c.dopp_n += 1;
+        }
+      }
+
+  letkf::ObsVector obs;
+  obs.reserve(cells.size());
+  for (const auto& [key, c] : cells) {
+    const idx k = static_cast<idx>(key % nz);
+    const idx j = static_cast<idx>((key / nz) % ny);
+    const idx i = static_cast<idx>(key / (static_cast<std::size_t>(ny) * nz));
+    const real x = grid.xc(i), y = grid.yc(j), z = grid.zc(k);
+    const real refl = real(c.refl_sum / c.refl_n);
+
+    if (refl >= cfg.rain_threshold) {
+      obs.push_back({letkf::ObsType::kReflectivity, x, y, z, refl,
+                     cfg.err_refl, radar_x, radar_y, radar_z, true});
+      if (c.dopp_n > 0)
+        obs.push_back({letkf::ObsType::kDopplerVelocity, x, y, z,
+                       real(c.dopp_sum / c.dopp_n), cfg.err_dopp, radar_x,
+                       radar_y, radar_z, true});
+    } else if (cfg.clear_air) {
+      // Thin clear-air obs on a checkerboard of period clear_air_thin.
+      if ((i % cfg.clear_air_thin) == 0 && (j % cfg.clear_air_thin) == 0)
+        obs.push_back({letkf::ObsType::kReflectivity, x, y, z,
+                       std::max(refl, real(-20)), cfg.err_refl, radar_x,
+                       radar_y, radar_z, true});
+    }
+  }
+  return obs;
+}
+
+ScanCoverage scan_coverage(const VolumeScan& scan) {
+  ScanCoverage cov;
+  for (auto f : scan.flag) {
+    switch (f) {
+      case kValid: ++cov.valid; break;
+      case kOutOfDomain: ++cov.out_of_domain; break;
+      case kBeamBlocked: ++cov.blocked; break;
+      case kClutter: ++cov.clutter; break;
+      default: break;
+    }
+  }
+  return cov;
+}
+
+}  // namespace bda::pawr

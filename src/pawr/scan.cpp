@@ -1,0 +1,36 @@
+#include "pawr/scan.hpp"
+
+#include <cmath>
+
+namespace bda::pawr {
+
+ScanConfig ScanConfig::paper_scale() {
+  // ~100 MB/scan: 110 elevations x 300 azimuths x 600 gates x 9 B/sample
+  // ~ 178M samples... the real format also compresses; we pick the geometry
+  // that lands near 100 MB of payload, which is the published figure.
+  ScanConfig c;
+  c.range_max = 60000.0f;
+  c.gate_length = 100.0f;
+  c.n_azimuth = 300;
+  c.n_elevation = 64;
+  c.elev_max_deg = 90.0f;
+  c.period_s = 30.0;
+  return c;  // 64 * 300 * 600 * 9 B = ~98.9 MB
+}
+
+VolumeScan::VolumeScan(const ScanConfig& c)
+    : cfg(c), reflectivity(c.n_samples(), -20.0f),
+      doppler(c.n_samples(), 0.0f), flag(c.n_samples(), kValid) {}
+
+void VolumeScan::sample_position(int e, int a, int g, real& dx, real& dy,
+                                 real& dz) const {
+  const real elev = real(e) / real(cfg.n_elevation) *
+                    (cfg.elev_max_deg * real(M_PI) / 180.0f);
+  const real azim = real(a) / real(cfg.n_azimuth) * real(2.0 * M_PI);
+  const real r = (real(g) + 0.5f) * cfg.gate_length;
+  dx = r * std::cos(elev) * std::sin(azim);
+  dy = r * std::cos(elev) * std::cos(azim);
+  dz = r * std::sin(elev);
+}
+
+}  // namespace bda::pawr

@@ -1,0 +1,74 @@
+// MP-PAWR volume-scan geometry and container.
+//
+// The multi-parameter phased-array weather radar at Saitama University scans
+// a gapless 3-D volume (360 degrees azimuth, ~100 electronically steered
+// elevations, 60-km range) every 30 seconds — ~100x the data of a
+// mechanically rotating radar and the "big data" of Big Data Assimilation.
+// A completed scan is stamped with T_obs, the start of the paper's
+// time-to-solution clock (Fig 4).
+//
+// VolumeScan is the in-memory image of one scan file (~100 MB at the
+// operational resolution; the geometry is configurable so tests run scaled
+// versions of the same structure).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bda::pawr {
+
+struct ScanConfig {
+  real range_max = 60000.0f;  ///< maximum range [m]
+  real gate_length = 500.0f;  ///< range-gate spacing [m]
+  int n_azimuth = 120;        ///< azimuth samples over 360 degrees
+  int n_elevation = 30;       ///< elevation steps, 0..elev_max
+  real elev_max_deg = 90.0f;  ///< top of the electronic elevation fan
+  double period_s = 30.0;     ///< volume refresh (the paper's 30 s)
+
+  int n_gate() const { return static_cast<int>(range_max / gate_length); }
+  std::size_t n_samples() const {
+    return static_cast<std::size_t>(n_elevation) *
+           static_cast<std::size_t>(n_azimuth) *
+           static_cast<std::size_t>(n_gate());
+  }
+  /// Operational-scale geometry: ~100 MB per scan as in the paper.
+  static ScanConfig paper_scale();
+};
+
+/// Validity flags per sample.
+enum SampleFlag : std::uint8_t {
+  kValid = 0,
+  kOutOfDomain = 1,   ///< beyond the model domain or 60-km range
+  kBeamBlocked = 2,   ///< terrain/building blockage sector
+  kClutter = 3,       ///< ground-clutter contaminated (lowest gates)
+};
+
+struct VolumeScan {
+  VolumeScan() = default;
+  explicit VolumeScan(const ScanConfig& cfg);
+
+  ScanConfig cfg;
+  double t_obs = 0.0;  ///< scan completion time stamp [s] (paper's T_obs)
+  std::vector<float> reflectivity;  ///< [dBZ]
+  std::vector<float> doppler;       ///< radial velocity [m/s]
+  std::vector<std::uint8_t> flag;   ///< SampleFlag per sample
+
+  std::size_t index(int e, int a, int g) const {
+    return (static_cast<std::size_t>(e) * cfg.n_azimuth + a) * cfg.n_gate() +
+           g;
+  }
+
+  /// Cartesian offset of a sample relative to the radar [m].
+  void sample_position(int e, int a, int g, real& dx, real& dy,
+                       real& dz) const;
+
+  /// Payload bytes (reflectivity + doppler + flags), the size JIT-DT moves.
+  std::size_t payload_bytes() const {
+    return n_samples() * (2 * sizeof(float) + 1);
+  }
+  std::size_t n_samples() const { return cfg.n_samples(); }
+};
+
+}  // namespace bda::pawr

@@ -1,0 +1,121 @@
+#include "scale/boundary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bda::scale {
+
+SteadyDriver::SteadyDriver(const Grid& grid, const ReferenceState& ref,
+                           real u_mean, real v_mean)
+    : grid_(grid), ref_(ref), u_mean_(u_mean), v_mean_(v_mean) {}
+
+void SteadyDriver::fill(double /*time_s*/, State& bc) const {
+  bc.init_from_reference(grid_, ref_);
+  for (idx i = 0; i < bc.nx; ++i)
+    for (idx j = 0; j < bc.ny; ++j)
+      for (idx k = 0; k < bc.nz; ++k) {
+        bc.momx(i, j, k) = ref_.dens[k] * u_mean_;
+        bc.momy(i, j, k) = ref_.dens[k] * v_mean_;
+      }
+  bc.fill_halos_clamp();
+}
+
+SyntheticMesoscaleDriver::SyntheticMesoscaleDriver(const Grid& grid,
+                                                   const ReferenceState& ref,
+                                                   real u_base, real v_base,
+                                                   double refresh_s)
+    : grid_(grid), ref_(ref), u_base_(u_base), v_base_(v_base),
+      refresh_s_(refresh_s) {}
+
+void SyntheticMesoscaleDriver::fill(double time_s, State& bc) const {
+  // Quantize to the 3-hourly refresh: boundary files change discretely.
+  const double t = std::floor(time_s / refresh_s_) * refresh_s_;
+  // Mean wind veers over ~12 h; low-level moisture surges over ~8 h (a
+  // period deliberately incommensurate with the 3-h refresh so quantized
+  // samples do not alias onto the zero crossings).
+  const real ang = real(2.0 * M_PI * t / 43200.0);
+  const real u = u_base_ * std::cos(ang * 0.3f) - v_base_ * std::sin(ang * 0.3f);
+  const real v = u_base_ * std::sin(ang * 0.3f) + v_base_ * std::cos(ang * 0.3f);
+  const real moist = real(1.0) + real(0.15) * std::sin(real(2.0 * M_PI * t / 28800.0));
+
+  bc.init_from_reference(grid_, ref_);
+  for (idx i = 0; i < bc.nx; ++i)
+    for (idx j = 0; j < bc.ny; ++j)
+      for (idx k = 0; k < bc.nz; ++k) {
+        bc.momx(i, j, k) = ref_.dens[k] * u;
+        bc.momy(i, j, k) = ref_.dens[k] * v;
+        if (grid_.zc(k) < 2000.0f) {
+          const real dq = ref_.dens[k] * ref_.qv[k] * (moist - real(1));
+          bc.rhoq[QV](i, j, k) += dq;
+          bc.dens(i, j, k) += dq;
+          bc.rhot(i, j, k) += dq * ref_.theta[k];
+        }
+      }
+  bc.fill_halos_clamp();
+}
+
+void apply_davies(State& s, const State& bc, idx width, real dt, real tau) {
+  const idx nx = s.nx, ny = s.ny, nz = s.nz;
+  auto blend = [&](RField3D& f, const RField3D& fb, idx nlev) {
+#pragma omp parallel for collapse(2)
+    for (idx i = 0; i < nx; ++i)
+      for (idx j = 0; j < ny; ++j) {
+        const idx dist = std::min(std::min(i, nx - 1 - i),
+                                  std::min(j, ny - 1 - j));
+        if (dist >= width) continue;
+        const real r = real(1) - real(dist) / real(width);
+        const real alpha = std::min(dt / tau * r * r, real(1));
+        for (idx k = 0; k < nlev; ++k)
+          f(i, j, k) += alpha * (fb(i, j, k) - f(i, j, k));
+      }
+  };
+  blend(s.dens, bc.dens, nz);
+  blend(s.momx, bc.momx, nz);
+  blend(s.momy, bc.momy, nz);
+  blend(s.momz, bc.momz, nz + 1);
+  blend(s.rhot, bc.rhot, nz);
+  for (int t = 0; t < kNumTracers; ++t) blend(s.rhoq[t], bc.rhoq[t], nz);
+}
+
+void nest_interpolate(const State& coarse, const Grid& coarse_grid,
+                      State& fine, const Grid& fine_grid) {
+  // Fine domain centered in the coarse domain.
+  const real x_off = real(0.5) * (coarse_grid.extent_x() - fine_grid.extent_x());
+  const real y_off = real(0.5) * (coarse_grid.extent_y() - fine_grid.extent_y());
+  const idx cnx = coarse_grid.nx(), cny = coarse_grid.ny();
+
+  auto sample = [&](const RField3D& cf, real x, real y, idx k) {
+    // Bilinear in the horizontal on cell centers, clamped at the edge.
+    const real gx = x / coarse_grid.dx() - real(0.5);
+    const real gy = y / coarse_grid.dx() - real(0.5);
+    idx i0 = static_cast<idx>(std::floor(gx));
+    idx j0 = static_cast<idx>(std::floor(gy));
+    const real fx = gx - real(i0);
+    const real fy = gy - real(j0);
+    i0 = std::clamp<idx>(i0, 0, cnx - 2);
+    j0 = std::clamp<idx>(j0, 0, cny - 2);
+    return (cf(i0, j0, k) * (1 - fx) + cf(i0 + 1, j0, k) * fx) * (1 - fy) +
+           (cf(i0, j0 + 1, k) * (1 - fx) + cf(i0 + 1, j0 + 1, k) * fx) * fy;
+  };
+
+  auto interp = [&](const RField3D& cf, RField3D& ff, idx nlev) {
+#pragma omp parallel for collapse(2)
+    for (idx i = 0; i < fine.nx; ++i)
+      for (idx j = 0; j < fine.ny; ++j) {
+        const real x = x_off + fine_grid.xc(i);
+        const real y = y_off + fine_grid.yc(j);
+        for (idx k = 0; k < nlev; ++k) ff(i, j, k) = sample(cf, x, y, k);
+      }
+  };
+
+  interp(coarse.dens, fine.dens, fine.nz);
+  interp(coarse.momx, fine.momx, fine.nz);
+  interp(coarse.momy, fine.momy, fine.nz);
+  interp(coarse.momz, fine.momz, fine.nz + 1);
+  interp(coarse.rhot, fine.rhot, fine.nz);
+  for (int t = 0; t < kNumTracers; ++t)
+    interp(coarse.rhoq[t], fine.rhoq[t], fine.nz);
+  fine.fill_halos_clamp();
+}
+
+}  // namespace bda::scale

@@ -1,0 +1,107 @@
+#include "scale/boundary_layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bda::scale {
+
+using C = Constants<real>;
+
+BoundaryLayer::BoundaryLayer(const Grid& grid, PblParams params)
+    : grid_(grid), params_(params),
+      tke_(grid.nx(), grid.ny(), grid.nz(), 0) {
+  tke_.fill(params_.tke_min);
+}
+
+void BoundaryLayer::step(State& s, real dt) {
+  const idx nx = s.nx, ny = s.ny, nz = s.nz;
+  const PblParams& P = params_;
+  constexpr real kappa = 0.4f;  // von Karman
+
+#pragma omp parallel for collapse(2)
+  for (idx i = 0; i < nx; ++i)
+    for (idx j = 0; j < ny; ++j) {
+      real km[256], kh[256];
+      // --- mixing coefficients from current TKE
+      for (idx k = 0; k < nz; ++k) {
+        const real z = grid_.zc(k);
+        const real l = kappa * z / (real(1) + kappa * z / P.l_inf);
+        const real e = std::max(tke_(i, j, k), P.tke_min);
+        km[k] = std::min(P.sm * l * std::sqrt(e), P.k_max);
+        kh[k] = std::min(P.sh * l * std::sqrt(e), P.k_max);
+      }
+      // --- TKE sources: shear and buoyancy from vertical gradients
+      for (idx k = 0; k < nz; ++k) {
+        real shear2 = 0, n2 = 0;
+        if (k > 0 && k + 1 < nz) {
+          const real rdz = real(1) / (grid_.zc(k + 1) - grid_.zc(k - 1));
+          const real dudz = (s.u(i, j, k + 1) - s.u(i, j, k - 1)) * rdz;
+          const real dvdz = (s.v(i, j, k + 1) - s.v(i, j, k - 1)) * rdz;
+          shear2 = dudz * dudz + dvdz * dvdz;
+          const real th = s.theta(i, j, k);
+          n2 = (C::grav / th) *
+               (s.theta(i, j, k + 1) - s.theta(i, j, k - 1)) * rdz;
+        }
+        const real z = grid_.zc(k);
+        const real l = kappa * z / (real(1) + kappa * z / P.l_inf);
+        real e = std::max(tke_(i, j, k), P.tke_min);
+        const real prod = km[k] * shear2 - kh[k] * n2;
+        const real diss = P.ce * e * std::sqrt(e) / std::max(l, real(1));
+        e += dt * (prod - diss);
+        tke_(i, j, k) = std::max(e, P.tke_min);
+      }
+      // --- implicit vertical diffusion of u, v, theta, qv and TKE
+      // (backward Euler tridiagonal per column; unconditionally stable so
+      // strong surface-layer mixing cannot blow up).
+      auto mix_column = [&](auto getter, auto setter, const real* kcoef) {
+        real a[256], b[256], c[256], d[256];
+        for (idx k = 0; k < nz; ++k) {
+          const real dz = grid_.dz(k);
+          const real kup =
+              (k + 1 < nz) ? real(0.5) * (kcoef[k] + kcoef[k + 1]) : real(0);
+          const real kdn =
+              (k > 0) ? real(0.5) * (kcoef[k] + kcoef[k - 1]) : real(0);
+          const real cu = (k + 1 < nz) ? kup / (grid_.dzf(k + 1) * dz) : 0;
+          const real cd = (k > 0) ? kdn / (grid_.dzf(k) * dz) : 0;
+          a[k] = -dt * cd;
+          c[k] = -dt * cu;
+          b[k] = real(1) + dt * (cu + cd);
+          d[k] = getter(k);
+        }
+        // Thomas
+        for (idx k = 1; k < nz; ++k) {
+          const real m = a[k] / b[k - 1];
+          b[k] -= m * c[k - 1];
+          d[k] -= m * d[k - 1];
+        }
+        d[nz - 1] /= b[nz - 1];
+        for (idx k = nz - 2; k >= 0; --k)
+          d[k] = (d[k] - c[k] * d[k + 1]) / b[k];
+        for (idx k = 0; k < nz; ++k) setter(k, d[k]);
+      };
+
+      // theta
+      mix_column([&](idx k) { return s.theta(i, j, k); },
+                 [&](idx k, real v) { s.rhot(i, j, k) = s.dens(i, j, k) * v; },
+                 kh);
+      // qv
+      mix_column(
+          [&](idx k) { return s.rhoq[QV](i, j, k) / s.dens(i, j, k); },
+          [&](idx k, real v) { s.rhoq[QV](i, j, k) = s.dens(i, j, k) * v; },
+          kh);
+      // u momentum: mix the face value to the left of the cell (approximate
+      // on the staggered grid; columns are independent so this is local).
+      mix_column(
+          [&](idx k) { return s.momx(i, j, k) / s.dens(i, j, k); },
+          [&](idx k, real v) { s.momx(i, j, k) = s.dens(i, j, k) * v; }, km);
+      mix_column(
+          [&](idx k) { return s.momy(i, j, k) / s.dens(i, j, k); },
+          [&](idx k, real v) { s.momy(i, j, k) = s.dens(i, j, k) * v; }, km);
+      // TKE self-diffusion
+      mix_column([&](idx k) { return tke_(i, j, k); },
+                 [&](idx k, real v) { tke_(i, j, k) = std::max(v, P.tke_min); },
+                 km);
+    }
+}
+
+}  // namespace bda::scale

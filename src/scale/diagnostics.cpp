@@ -1,0 +1,126 @@
+#include "scale/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bda::scale {
+
+using C = Constants<real>;
+
+real moist_lapse_rate(real temperature, real pressure) {
+  // Saturated pseudo-adiabatic lapse rate:
+  //   Gamma_m = g (1 + L qs / (Rd T)) / (cp + L^2 qs eps / (Rd T^2))
+  const real qs = qsat_liquid(temperature, pressure);
+  const real num =
+      C::grav * (real(1) + C::lhv * qs / (C::rdry * temperature));
+  const real den = C::cp + C::lhv * C::lhv * qs * real(0.622) /
+                               (C::rdry * temperature * temperature);
+  return num / den;
+}
+
+namespace {
+
+struct Column {
+  std::vector<real> z, tem, pres, qv;
+};
+
+ParcelDiagnostics lift(const Grid& grid, const Column& env) {
+  ParcelDiagnostics out;
+  const idx nz = grid.nz();
+  if (nz < 3) return out;
+
+  // Surface parcel.
+  real t_parcel = env.tem[0];
+  real qv_parcel = env.qv[0];
+  bool saturated = false;
+
+  std::vector<real> buoy(static_cast<std::size_t>(nz), 0.0f);
+  for (idx k = 1; k < nz; ++k) {
+    const real dz = grid.zc(k) - grid.zc(k - 1);
+    if (!saturated) {
+      // Dry adiabatic ascent; condensation check at the new level.
+      t_parcel -= C::grav / C::cp * dz;
+      const real qs = qsat_liquid(t_parcel, env.pres[k]);
+      if (qv_parcel >= qs) {
+        saturated = true;
+        out.lcl = grid.zc(k);
+      }
+    } else {
+      t_parcel -= moist_lapse_rate(t_parcel, env.pres[k]) * dz;
+      // Pseudo-adiabatic: condensed water rains out, parcel stays at qs.
+      qv_parcel = qsat_liquid(t_parcel, env.pres[k]);
+    }
+    // Virtual temperature buoyancy vs the environment.
+    const real tv_parcel = t_parcel * (real(1) + real(0.608) * qv_parcel);
+    const real tv_env = env.tem[k] * (real(1) + real(0.608) * env.qv[k]);
+    buoy[k] = C::grav * (tv_parcel - tv_env) / tv_env;
+  }
+
+  // Integrate: CIN is the negative area below the LFC; CAPE the positive
+  // area between LFC and EL.
+  bool found_lfc = false;
+  for (idx k = 1; k < nz; ++k) {
+    const real dz = grid.zc(k) - grid.zc(k - 1);
+    if (!found_lfc) {
+      if (buoy[k] > 0 && saturated && grid.zc(k) >= out.lcl && out.lcl > 0) {
+        found_lfc = true;
+        out.lfc = grid.zc(k);
+        out.cape += buoy[k] * dz;
+        out.el = grid.zc(k);
+      } else if (buoy[k] < 0) {
+        out.cin += -buoy[k] * dz;
+      }
+    } else {
+      if (buoy[k] > 0) {
+        out.cape += buoy[k] * dz;
+        out.el = grid.zc(k);
+      }
+      // Negative area above the EL is ignored (parcel overshoot).
+    }
+  }
+  if (!found_lfc) {
+    out.cape = 0;
+    out.cin = 0;  // stable column: CIN unbounded in principle; report 0 CAPE
+  }
+  return out;
+}
+
+}  // namespace
+
+ParcelDiagnostics parcel_diagnostics(const Grid& grid,
+                                     const ReferenceState& ref) {
+  Column env;
+  const idx nz = grid.nz();
+  env.z.resize(nz);
+  env.tem.resize(nz);
+  env.pres.resize(nz);
+  env.qv.resize(nz);
+  for (idx k = 0; k < nz; ++k) {
+    env.z[k] = grid.zc(k);
+    env.pres[k] = ref.pres[k];
+    env.tem[k] = ref.theta[k] *
+                 std::pow(ref.pres[k] / C::pres00, C::kappa);
+    env.qv[k] = ref.qv[k];
+  }
+  return lift(grid, env);
+}
+
+ParcelDiagnostics parcel_diagnostics(const Grid& grid, const State& s,
+                                     idx i, idx j) {
+  Column env;
+  const idx nz = grid.nz();
+  env.z.resize(nz);
+  env.tem.resize(nz);
+  env.pres.resize(nz);
+  env.qv.resize(nz);
+  for (idx k = 0; k < nz; ++k) {
+    env.z[k] = grid.zc(k);
+    env.pres[k] = s.pressure(i, j, k);
+    env.tem[k] = s.temperature(i, j, k);
+    env.qv[k] = s.q(QV, i, j, k);
+  }
+  return lift(grid, env);
+}
+
+}  // namespace bda::scale

@@ -1,0 +1,40 @@
+// Thermodynamic sounding diagnostics.
+//
+// CAPE (convective available potential energy) and CIN (convective
+// inhibition) quantify how much buoyant energy a lifted surface parcel can
+// release — the discriminator between environments that can sustain the
+// paper's July-2021 torrential rains and those that cannot.  Used to
+// characterize the synthetic soundings (the nature-run environment must be
+// conditionally unstable) and as a forecast diagnostic.
+#pragma once
+
+#include "scale/grid.hpp"
+#include "scale/reference.hpp"
+#include "scale/state.hpp"
+
+namespace bda::scale {
+
+struct ParcelDiagnostics {
+  real cape = 0;      ///< [J/kg] integrated positive buoyancy
+  real cin = 0;       ///< [J/kg] magnitude of negative area below the LFC
+  real lcl = 0;       ///< lifted condensation level [m] (0 if none found)
+  real lfc = 0;       ///< level of free convection [m] (0 if none)
+  real el = 0;        ///< equilibrium level [m] (0 if none)
+};
+
+/// Lift the lowest-level parcel of a reference column pseudo-adiabatically
+/// (dry to the LCL, moist above) and integrate parcel-minus-environment
+/// virtual-temperature buoyancy over the grid column.
+ParcelDiagnostics parcel_diagnostics(const Grid& grid,
+                                     const ReferenceState& ref);
+
+/// Same computation from a model column at (i, j) of a State.
+ParcelDiagnostics parcel_diagnostics(const Grid& grid, const State& s,
+                                     idx i, idx j);
+
+/// Moist-adiabatic temperature lapse rate [K/m] at (T, p): the saturated
+/// parcel's cooling rate, used by the lifting integration (exposed for
+/// tests: must be smaller than the dry rate and approach it aloft).
+real moist_lapse_rate(real temperature, real pressure);
+
+}  // namespace bda::scale

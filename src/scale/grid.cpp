@@ -1,0 +1,73 @@
+#include "scale/grid.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bda::scale {
+
+Grid::Grid(idx nx, idx ny, idx nz, real dx, real ztop)
+    : nx_(nx), ny_(ny), nz_(nz), dx_(dx) {
+  assert(nx > 0 && ny > 0 && nz > 0 && dx > 0 && ztop > 0);
+  zf_.resize(static_cast<std::size_t>(nz + 1));
+  for (idx k = 0; k <= nz; ++k)
+    zf_[static_cast<std::size_t>(k)] = ztop * real(k) / real(nz);
+  zc_.resize(static_cast<std::size_t>(nz));
+  dz_.resize(static_cast<std::size_t>(nz));
+  for (idx k = 0; k < nz; ++k) {
+    zc_[k] = real(0.5) * (zf_[k] + zf_[k + 1]);
+    dz_[k] = zf_[k + 1] - zf_[k];
+  }
+  dzf_.assign(static_cast<std::size_t>(nz), real(0));
+  for (idx k = 1; k < nz; ++k) dzf_[k] = zc_[k] - zc_[k - 1];
+}
+
+Grid Grid::stretched(idx nx, idx ny, idx nz, real dx, real ztop, real dz0,
+                     real stretch) {
+  Grid g(nx, ny, nz, dx, ztop);
+  // Geometric thickness profile rescaled to exactly reach ztop.
+  std::vector<real> dz(static_cast<std::size_t>(nz));
+  real sum = 0;
+  real d = dz0;
+  for (idx k = 0; k < nz; ++k) {
+    dz[k] = d;
+    sum += d;
+    d *= stretch;
+  }
+  const real scale = ztop / sum;
+  g.zf_[0] = 0;
+  for (idx k = 0; k < nz; ++k) g.zf_[k + 1] = g.zf_[k] + dz[k] * scale;
+  for (idx k = 0; k < nz; ++k) {
+    g.zc_[k] = real(0.5) * (g.zf_[k] + g.zf_[k + 1]);
+    g.dz_[k] = g.zf_[k + 1] - g.zf_[k];
+  }
+  for (idx k = 1; k < nz; ++k) g.dzf_[k] = g.zc_[k] - g.zc_[k - 1];
+  return g;
+}
+
+Grid Grid::with_faces(idx nx, idx ny, real dx, const std::vector<real>& zf) {
+  assert(zf.size() >= 2 && zf.front() == real(0));
+  const idx nz = static_cast<idx>(zf.size()) - 1;
+  Grid g(nx, ny, nz, dx, zf.back());
+  g.zf_ = zf;
+  for (idx k = 0; k < nz; ++k) {
+    g.zc_[k] = real(0.5) * (zf[k] + zf[k + 1]);
+    g.dz_[k] = zf[k + 1] - zf[k];
+    assert(g.dz_[k] > 0);
+  }
+  for (idx k = 1; k < nz; ++k) g.dzf_[k] = g.zc_[k] - g.zc_[k - 1];
+  return g;
+}
+
+Grid Grid::paper_inner() {
+  // 256 x 256 x 60, dx = 500 m, top 16.4 km; dz stretches from ~80 m near
+  // the surface to ~500 m near the top, close to the operational setup.
+  return stretched(256, 256, 60, 500.0f, 16400.0f, 80.0f, 1.032f);
+}
+
+Grid Grid::paper_outer() {
+  // Outer domain: 1.5-km spacing, same column.  The operational outer extent
+  // covers the Kanto region (Fig 3a); 256 x 256 at 1.5 km = 384 km square.
+  return stretched(256, 256, 60, 1500.0f, 16400.0f, 80.0f, 1.032f);
+}
+
+}  // namespace bda::scale

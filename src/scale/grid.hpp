@@ -1,0 +1,77 @@
+// Computational grid for the regional model.
+//
+// Horizontally uniform (dx = dy), Arakawa C staggering; vertically stretched
+// levels as in the paper's inner domain: 128 km x 128 km x 16.4 km with a
+// 500-m horizontal spacing and 60 levels (Table 3).  Terrain is flat — the
+// real system uses terrain-following coordinates over the Kanto plain, which
+// is predominantly flat within the 60-km radar range; this substitution is
+// recorded in DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bda::scale {
+
+class Grid {
+ public:
+  /// Uniformly spaced vertical levels.
+  Grid(idx nx, idx ny, idx nz, real dx, real ztop);
+
+  /// Stretched vertical levels: dz grows geometrically from dz0 at the
+  /// surface by `stretch` per level, rescaled so the column exactly reaches
+  /// ztop.  stretch = 1 reproduces uniform spacing.
+  static Grid stretched(idx nx, idx ny, idx nz, real dx, real ztop, real dz0,
+                        real stretch);
+
+  /// Grid with an explicitly specified vertical face profile (zf must have
+  /// nz + 1 ascending entries starting at 0).  Used by the nesting chain so
+  /// the outer domain shares the inner domain's exact column.
+  static Grid with_faces(idx nx, idx ny, real dx,
+                         const std::vector<real>& zf);
+
+  /// The paper's inner-domain grid (Table 3): 256 x 256 x 60, dx = 500 m,
+  /// 16.4-km top, surface-refined stretching.
+  static Grid paper_inner();
+
+  /// The paper's outer-domain grid: 1.5-km spacing covering ~3x the inner
+  /// extent (Fig 3a), same 60-level column.
+  static Grid paper_outer();
+
+  idx nx() const { return nx_; }
+  idx ny() const { return ny_; }
+  idx nz() const { return nz_; }
+  real dx() const { return dx_; }
+  real ztop() const { return zf_.back(); }
+  real extent_x() const { return real(nx_) * dx_; }
+  real extent_y() const { return real(ny_) * dx_; }
+
+  /// Cell-center height of level k.
+  real zc(idx k) const { return zc_[static_cast<std::size_t>(k)]; }
+  /// Face height; k in [0, nz], zf(0) = 0 (surface), zf(nz) = ztop.
+  real zf(idx k) const { return zf_[static_cast<std::size_t>(k)]; }
+  /// Cell thickness of level k.
+  real dz(idx k) const { return dz_[static_cast<std::size_t>(k)]; }
+  /// Distance between centers of cells k-1 and k (for face k gradients);
+  /// defined for k in [1, nz-1].
+  real dzf(idx k) const { return dzf_[static_cast<std::size_t>(k)]; }
+
+  /// Cell-center x/y coordinate of column index (cell i spans [i*dx,(i+1)*dx)).
+  real xc(idx i) const { return (real(i) + real(0.5)) * dx_; }
+  real yc(idx j) const { return (real(j) + real(0.5)) * dx_; }
+
+  /// All vertical face heights (nz + 1 entries); lets a coarser grid be
+  /// built with an identical column (see with_faces).
+  const std::vector<real>& faces() const { return zf_; }
+
+  /// Halo width required by the 3rd-order upwind stencils.
+  static constexpr idx kHalo = 2;
+
+ private:
+  idx nx_, ny_, nz_;
+  real dx_;
+  std::vector<real> zc_, zf_, dz_, dzf_;
+};
+
+}  // namespace bda::scale

@@ -1,0 +1,49 @@
+#include "scale/model.hpp"
+
+#include <cmath>
+
+namespace bda::scale {
+
+Model::Model(const Grid& grid, const Sounding& sounding, ModelConfig cfg)
+    : grid_(grid), ref_(ReferenceState::build(grid_, sounding)), cfg_(cfg),
+      state_(grid_), dyn_(grid_, ref_, cfg.dyn), micro_(grid_, cfg.micro),
+      turb_(grid_, cfg.turb), pbl_(grid_, cfg.pbl), sfc_(grid_, cfg.sfc),
+      rad_(grid_, cfg.rad) {
+  state_.init_from_reference(grid_, ref_);
+  state_.fill_halos_periodic();
+}
+
+void Model::set_boundary(const BoundaryDriver* driver, idx width, real tau) {
+  bdy_driver_ = driver;
+  bdy_width_ = width;
+  bdy_tau_ = tau;
+  if (driver && !bdy_state_) bdy_state_ = std::make_unique<State>(grid_);
+}
+
+void Model::step() {
+  dyn_.step(state_, cfg_.dt);
+  if (cfg_.enable_micro) micro_.step(state_, cfg_.dt);
+  const bool full_physics = (step_count_ % cfg_.physics_every) == 0;
+  if (full_physics) {
+    const real pdt = cfg_.dt * real(cfg_.physics_every);
+    if (cfg_.enable_turb) turb_.step(state_, pdt);
+    if (cfg_.enable_pbl) pbl_.step(state_, pdt);
+    if (cfg_.enable_sfc)
+      sfc_.step(state_, pdt, cfg_.enable_pbl ? &pbl_ : nullptr,
+                real(std::fmod(time_, 86400.0)));
+    if (cfg_.enable_rad) rad_.step(state_, pdt);
+  }
+  if (bdy_driver_) {
+    bdy_driver_->fill(time_, *bdy_state_);
+    apply_davies(state_, *bdy_state_, bdy_width_, cfg_.dt, bdy_tau_);
+  }
+  time_ += cfg_.dt;
+  ++step_count_;
+}
+
+void Model::advance(real duration) {
+  const long n = static_cast<long>(std::floor(duration / cfg_.dt + 0.5f));
+  for (long s = 0; s < n; ++s) step();
+}
+
+}  // namespace bda::scale

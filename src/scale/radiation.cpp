@@ -1,0 +1,41 @@
+#include "scale/radiation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bda::scale {
+
+Radiation::Radiation(const Grid& grid, RadParams params)
+    : grid_(grid), params_(params) {}
+
+void Radiation::step(State& s, real dt) {
+  const idx nx = s.nx, ny = s.ny, nz = s.nz;
+  const real day = 86400.0f;
+  const real clear = params_.clear_sky_cooling / day;  // K/s
+  const real ctop = params_.cloud_top_cooling / day;
+
+#pragma omp parallel for collapse(2)
+  for (idx i = 0; i < nx; ++i)
+    for (idx j = 0; j < ny; ++j) {
+      // Find the cloud top: highest level with condensate.
+      idx cloud_top = -1;
+      for (idx k = nz - 1; k >= 0; --k) {
+        const real cond = (s.rhoq[QC](i, j, k) + s.rhoq[QI](i, j, k)) /
+                          s.dens(i, j, k);
+        if (cond > params_.cloud_threshold) {
+          cloud_top = k;
+          break;
+        }
+      }
+      for (idx k = 0; k < nz; ++k) {
+        const real z = grid_.zc(k);
+        real cool = 0;
+        if (z < params_.tropopause)
+          cool = clear * (real(1) - z / params_.tropopause * real(0.5));
+        if (k == cloud_top) cool += ctop;
+        s.rhot(i, j, k) -= dt * s.dens(i, j, k) * cool;
+      }
+    }
+}
+
+}  // namespace bda::scale

@@ -1,0 +1,35 @@
+// Gray-atmosphere radiation.
+//
+// The operational system runs MstrnX (Sekiguchi & Nakajima 2008), a
+// k-distribution broadband code.  Within a 30-minute convective forecast
+// the radiative tendency is a small, smooth forcing, so we substitute a
+// two-component gray scheme: clear-sky longwave cooling through the
+// troposphere plus cloud-top cooling where condensate is present
+// (DESIGN.md records the substitution).  The column scan and per-cell
+// tendency application exercise the same code path and cost profile as a
+// cheap radiation call.
+#pragma once
+
+#include "scale/grid.hpp"
+#include "scale/state.hpp"
+
+namespace bda::scale {
+
+struct RadParams {
+  real clear_sky_cooling = 1.5f;   ///< tropospheric LW cooling [K/day]
+  real cloud_top_cooling = 30.0f;  ///< extra cooling at cloud top [K/day]
+  real cloud_threshold = 1.0e-5f;  ///< condensate mixing ratio for "cloudy"
+  real tropopause = 12000.0f;      ///< cooling tapers to zero above [m]
+};
+
+class Radiation {
+ public:
+  Radiation(const Grid& grid, RadParams params = {});
+  void step(State& s, real dt);
+
+ private:
+  const Grid& grid_;
+  RadParams params_;
+};
+
+}  // namespace bda::scale

@@ -1,0 +1,109 @@
+#include "scale/reference.hpp"
+
+#include <cmath>
+
+namespace bda::scale {
+
+using C = Constants<real>;
+
+real Sounding::theta(real z) const {
+  if (z <= pbl_top) return theta_surface + theta_lapse_pbl * z;
+  const real th_pbl = theta_surface + theta_lapse_pbl * pbl_top;
+  if (z <= tropopause) return th_pbl + theta_lapse_free * (z - pbl_top);
+  const real th_trop = th_pbl + theta_lapse_free * (tropopause - pbl_top);
+  return th_trop + theta_lapse_strat * (z - tropopause);
+}
+
+real Sounding::rh(real z) const {
+  if (z <= pbl_top) return rh_surface;
+  const real decay = std::exp(-(z - pbl_top) / rh_decay);
+  return rh_free * decay + 0.05f * (1.0f - decay);
+}
+
+Sounding stable_sounding() {
+  Sounding s;
+  s.theta_surface = 300.0f;
+  s.theta_lapse_pbl = 0.004f;
+  s.theta_lapse_free = 0.004f;
+  s.rh_surface = 0.30f;
+  s.rh_free = 0.20f;
+  return s;
+}
+
+Sounding convective_sounding() {
+  Sounding s;
+  s.theta_surface = 302.0f;
+  s.theta_lapse_pbl = 0.0f;      // well-mixed boundary layer
+  s.pbl_top = 1200.0f;
+  s.theta_lapse_free = 0.0038f;  // weak stability -> conditionally unstable
+  s.rh_surface = 0.90f;
+  s.rh_free = 0.55f;
+  s.rh_decay = 5000.0f;
+  return s;
+}
+
+real esat_liquid(real temperature) {
+  // Tetens over liquid: es = 610.78 * exp(17.269 (T - 273.15)/(T - 35.86)).
+  const real t = temperature;
+  return 610.78f * std::exp(17.269f * (t - 273.15f) / (t - 35.86f));
+}
+
+real esat_ice(real temperature) {
+  const real t = temperature;
+  return 610.78f * std::exp(21.875f * (t - 273.15f) / (t - 7.66f));
+}
+
+real qsat_liquid(real temperature, real pressure) {
+  const real es = esat_liquid(temperature);
+  const real denom = pressure - 0.378f * es;
+  return 0.622f * es / std::max(denom, 1.0f);
+}
+
+real qsat_ice(real temperature, real pressure) {
+  const real es = esat_ice(temperature);
+  const real denom = pressure - 0.378f * es;
+  return 0.622f * es / std::max(denom, 1.0f);
+}
+
+ReferenceState ReferenceState::build(const Grid& grid, const Sounding& snd,
+                                     real ps) {
+  const idx nz = grid.nz();
+  ReferenceState ref;
+  ref.dens.resize(nz);
+  ref.pres.resize(nz);
+  ref.theta.resize(nz);
+  ref.qv.resize(nz);
+
+  // March the Exner function upward: d(pi)/dz = -g / (cp * theta_v).
+  // Iterate each layer once to center the theta_v used over the half-step.
+  real pi_below = std::pow(ps / C::pres00, C::kappa);  // Exner at the surface
+  real z_below = 0.0f;
+  for (idx k = 0; k < nz; ++k) {
+    const real z = grid.zc(k);
+    const real th = snd.theta(z);
+    // First guess for qv from RH at the previous pressure level.
+    real pi = pi_below;
+    real qv = 0.0f;
+    for (int iter = 0; iter < 3; ++iter) {
+      const real pmid = C::pres00 * std::pow(pi, C::cp / C::rdry);
+      const real temp = th * pi;
+      qv = snd.rh(z) * qsat_liquid(temp, pmid);
+      const real thv = th * (1.0f + 0.608f * qv);
+      pi = pi_below - C::grav * (z - z_below) / (C::cp * thv);
+    }
+    const real pres = C::pres00 * std::pow(pi, C::cp / C::rdry);
+    const real temp = th * pi;
+    const real thv = th * (1.0f + 0.608f * qv);
+    ref.theta[k] = th;
+    ref.qv[k] = qv;
+    ref.pres[k] = pres;
+    // Moist density from the ideal-gas law with virtual temperature.
+    ref.dens[k] = pres / (C::rdry * temp * (1.0f + 0.608f * qv));
+    (void)thv;
+    pi_below = pi;
+    z_below = z;
+  }
+  return ref;
+}
+
+}  // namespace bda::scale

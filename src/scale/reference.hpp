@@ -1,0 +1,64 @@
+// Hydrostatic reference state and idealized soundings.
+//
+// The dynamics integrates perturbations about a hydrostatically balanced,
+// horizontally uniform reference column (standard practice in nonhydrostatic
+// cores: it removes the large hydrostatic terms from the vertical momentum
+// equation so buoyancy appears as a small residual).  Soundings also seed
+// the nature runs: `convective_sounding()` builds a conditionally unstable
+// moist environment of the type that produced the July 2021 Tokyo heavy
+// rains the paper evaluates on.
+#pragma once
+
+#include <vector>
+
+#include "scale/grid.hpp"
+#include "util/types.hpp"
+
+namespace bda::scale {
+
+/// Analytic sounding: potential temperature and relative humidity vs height.
+struct Sounding {
+  /// Potential temperature [K] at height z [m].
+  real theta_surface = 300.0f;
+  real theta_lapse_pbl = 0.001f;   ///< d(theta)/dz in the boundary layer [K/m]
+  real pbl_top = 1500.0f;          ///< boundary-layer top [m]
+  real theta_lapse_free = 0.0045f; ///< free-troposphere stability [K/m]
+  real tropopause = 12000.0f;
+  real theta_lapse_strat = 0.02f;  ///< stratospheric stability [K/m]
+  real rh_surface = 0.85f;         ///< relative humidity at the surface
+  real rh_free = 0.45f;            ///< RH above the boundary layer
+  real rh_decay = 6000.0f;         ///< e-folding height of free-troposphere RH
+
+  real theta(real z) const;
+  real rh(real z) const;
+};
+
+/// Weakly stable dry sounding (for dynamics-only tests).
+Sounding stable_sounding();
+
+/// Conditionally unstable, moist low-level sounding able to sustain deep
+/// convection (the nature-run environment).
+Sounding convective_sounding();
+
+/// Hydrostatically balanced column discretized on a grid.
+struct ReferenceState {
+  std::vector<real> dens;   ///< reference density at cell centers [kg/m3]
+  std::vector<real> pres;   ///< reference pressure at cell centers [Pa]
+  std::vector<real> theta;  ///< reference potential temperature [K]
+  std::vector<real> qv;     ///< reference vapor mixing ratio [kg/kg]
+
+  /// Integrate hydrostatic balance dp/dz = -rho g upward from surface
+  /// pressure `ps`, given the sounding's theta(z) and moisture.
+  static ReferenceState build(const Grid& grid, const Sounding& snd,
+                              real ps = 100000.0f);
+};
+
+/// Saturation vapor pressure over liquid water [Pa] (Tetens).
+real esat_liquid(real temperature);
+/// Saturation vapor pressure over ice [Pa].
+real esat_ice(real temperature);
+/// Saturation mixing ratio [kg/kg] at temperature T and pressure p.
+real qsat_liquid(real temperature, real pressure);
+real qsat_ice(real temperature, real pressure);
+
+}  // namespace bda::scale

@@ -1,0 +1,123 @@
+#include "scale/state.hpp"
+
+#include <cmath>
+
+namespace bda::scale {
+
+using C = Constants<real>;
+
+const char* tracer_name(int t) {
+  static const char* names[kNumTracers] = {"qv", "qc", "qr", "qi", "qs", "qg"};
+  return (t >= 0 && t < kNumTracers) ? names[t] : "??";
+}
+
+State::State(const Grid& grid)
+    : dens(grid.nx(), grid.ny(), grid.nz(), Grid::kHalo),
+      momx(grid.nx(), grid.ny(), grid.nz(), Grid::kHalo),
+      momy(grid.nx(), grid.ny(), grid.nz(), Grid::kHalo),
+      momz(grid.nx(), grid.ny(), grid.nz() + 1, Grid::kHalo),
+      rhot(grid.nx(), grid.ny(), grid.nz(), Grid::kHalo),
+      nx(grid.nx()), ny(grid.ny()), nz(grid.nz()) {
+  for (auto& q : rhoq)
+    q = RField3D(grid.nx(), grid.ny(), grid.nz(), Grid::kHalo);
+}
+
+void State::init_from_reference(const Grid& grid, const ReferenceState& ref) {
+  for (idx i = -Grid::kHalo; i < nx + Grid::kHalo; ++i)
+    for (idx j = -Grid::kHalo; j < ny + Grid::kHalo; ++j)
+      for (idx k = 0; k < nz; ++k) {
+        dens(i, j, k) = ref.dens[k];
+        rhot(i, j, k) = ref.dens[k] * ref.theta[k];
+        rhoq[QV](i, j, k) = ref.dens[k] * ref.qv[k];
+        for (int t = QC; t < kNumTracers; ++t) rhoq[t](i, j, k) = 0;
+      }
+  momx.fill(0);
+  momy.fill(0);
+  momz.fill(0);
+  (void)grid;
+}
+
+void State::fill_halos_periodic() {
+  dens.fill_halo_periodic();
+  momx.fill_halo_periodic();
+  momy.fill_halo_periodic();
+  momz.fill_halo_periodic();
+  rhot.fill_halo_periodic();
+  for (auto& q : rhoq) q.fill_halo_periodic();
+}
+
+void State::fill_halos_clamp() {
+  dens.fill_halo_clamp();
+  momx.fill_halo_clamp();
+  momy.fill_halo_clamp();
+  momz.fill_halo_clamp();
+  rhot.fill_halo_clamp();
+  for (auto& q : rhoq) q.fill_halo_clamp();
+}
+
+real State::pressure(idx i, idx j, idx k) const {
+  const real rt = rhot(i, j, k);
+  return C::pres00 *
+         std::pow(C::rdry * rt / C::pres00, C::cp / C::cv);
+}
+
+real State::temperature(idx i, idx j, idx k) const {
+  const real p = pressure(i, j, k);
+  return p / (C::rdry * dens(i, j, k));
+}
+
+real State::u(idx i, idx j, idx k) const {
+  // momx(i) is the face between cells i and i+1; average the two faces
+  // around cell i and divide by cell density.
+  const real mx = real(0.5) * (momx(i - 1, j, k) + momx(i, j, k));
+  return mx / dens(i, j, k);
+}
+
+real State::v(idx i, idx j, idx k) const {
+  const real my = real(0.5) * (momy(i, j - 1, k) + momy(i, j, k));
+  return my / dens(i, j, k);
+}
+
+real State::w(idx i, idx j, idx k) const {
+  const real mz = real(0.5) * (momz(i, j, k) + momz(i, j, k + 1));
+  return mz / dens(i, j, k);
+}
+
+double State::total_mass() const {
+  return dens.interior_sum();
+}
+
+double State::total_water() const {
+  double s = 0.0;
+  for (const auto& q : rhoq) s += q.interior_sum();
+  return s;
+}
+
+bool State::has_nonfinite() const {
+  auto bad = [](const RField3D& f) {
+    for (real v : f.raw())
+      if (!std::isfinite(v)) return true;
+    return false;
+  };
+  if (bad(dens) || bad(momx) || bad(momy) || bad(momz) || bad(rhot))
+    return true;
+  for (const auto& q : rhoq)
+    if (bad(q)) return true;
+  return false;
+}
+
+void State::axpby(real a, real b, const State& other) {
+  auto comb = [a, b](RField3D& x, const RField3D& y) {
+    auto xr = x.raw();
+    auto yr = y.raw();
+    for (std::size_t n = 0; n < xr.size(); ++n) xr[n] = a * xr[n] + b * yr[n];
+  };
+  comb(dens, other.dens);
+  comb(momx, other.momx);
+  comb(momy, other.momy);
+  comb(momz, other.momz);
+  comb(rhot, other.rhot);
+  for (int t = 0; t < kNumTracers; ++t) comb(rhoq[t], other.rhoq[t]);
+}
+
+}  // namespace bda::scale

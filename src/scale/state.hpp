@@ -1,0 +1,76 @@
+// Prognostic model state (flux form, Arakawa C staggering).
+//
+// Prognostic set mirrors SCALE-RM:
+//   dens        rho              cell centers
+//   momx        rho*u            x-faces (index i holds face i+1/2)
+//   momy        rho*v            y-faces (index j holds face j+1/2)
+//   momz        rho*w            z-faces (nz+1 levels; 0 and nz are rigid)
+//   rhot        rho*theta        cell centers
+//   rhoq[0..5]  rho*q_x          cell centers; vapor, cloud, rain, ice,
+//                                snow, graupel (single-moment 6-category)
+// Diagnostics (pressure, temperature, velocities at centers) are derived.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "scale/grid.hpp"
+#include "scale/reference.hpp"
+#include "util/field.hpp"
+
+namespace bda::scale {
+
+/// Hydrometeor/tracer category order for rhoq.
+enum Tracer : int { QV = 0, QC, QR, QI, QS, QG, kNumTracers };
+
+/// Human-readable tracer names, aligned with enum Tracer.
+const char* tracer_name(int t);
+
+struct State {
+  State() = default;
+  explicit State(const Grid& grid);
+
+  RField3D dens;   ///< [kg/m3], centers
+  RField3D momx;   ///< [kg/m2/s], x-faces
+  RField3D momy;   ///< [kg/m2/s], y-faces
+  RField3D momz;   ///< [kg/m2/s], z-faces, nz+1 levels
+  RField3D rhot;   ///< [kg K/m3], centers
+  std::array<RField3D, kNumTracers> rhoq;  ///< [kg/m3], centers
+
+  idx nx = 0, ny = 0, nz = 0;
+
+  /// Initialize to the horizontally uniform hydrostatic reference at rest.
+  void init_from_reference(const Grid& grid, const ReferenceState& ref);
+
+  /// Fill all horizontal halos (periodic or clamped).
+  void fill_halos_periodic();
+  void fill_halos_clamp();
+
+  /// Diagnostics at a cell (i, j, k).
+  real theta(idx i, idx j, idx k) const { return rhot(i, j, k) / dens(i, j, k); }
+  real q(int tracer, idx i, idx j, idx k) const {
+    return rhoq[tracer](i, j, k) / dens(i, j, k);
+  }
+  /// Full pressure from the equation of state p = p00 (R rhot / p00)^(cp/cv).
+  real pressure(idx i, idx j, idx k) const;
+  real temperature(idx i, idx j, idx k) const;
+  /// Velocities interpolated to cell centers.
+  real u(idx i, idx j, idx k) const;
+  real v(idx i, idx j, idx k) const;
+  real w(idx i, idx j, idx k) const;
+
+  /// Total dry + moist mass in the interior [kg/m3 * cells] (for the
+  /// conservation property tests; multiply by cell volume for kg).
+  double total_mass() const;
+  /// Total water (all categories) [kg/m3 * cells].
+  double total_water() const;
+
+  /// True if any prognostic value is NaN/Inf (used by stability tests and
+  /// the operational watchdog).
+  bool has_nonfinite() const;
+
+  /// Elementwise linear combination: this = a*this + b*other (all fields).
+  void axpby(real a, real b, const State& other);
+};
+
+}  // namespace bda::scale

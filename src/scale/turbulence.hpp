@@ -1,0 +1,40 @@
+// Smagorinsky-type subgrid turbulence (Table 3: "Turbulence:
+// Smagorinsky-type").
+//
+// Eddy viscosity K = (Cs * Delta)^2 |S| from the resolved deformation,
+// applied as down-gradient diffusion of momentum, heat and moisture.  At a
+// 500-m grid spacing this is the dominant subgrid mixing outside the
+// boundary layer (which the TKE scheme handles).
+#pragma once
+
+#include "scale/grid.hpp"
+#include "scale/state.hpp"
+#include "util/field.hpp"
+
+namespace bda::scale {
+
+struct TurbParams {
+  real cs = 0.18f;          ///< Smagorinsky constant
+  real prandtl = 0.7f;      ///< turbulent Prandtl number (K_h = K_m / Pr)
+  real k_max = 400.0f;      ///< viscosity cap [m2/s] for robustness
+};
+
+class Turbulence {
+ public:
+  Turbulence(const Grid& grid, TurbParams params = {});
+
+  /// Apply one diffusion step (explicit, operator-split).
+  void step(State& s, real dt);
+
+  /// Eddy viscosity of the last step (diagnostic, cell centers).
+  const RField3D& k_m() const { return km_; }
+
+ private:
+  void compute_viscosity(const State& s);
+
+  const Grid& grid_;
+  TurbParams params_;
+  RField3D km_;
+};
+
+}  // namespace bda::scale

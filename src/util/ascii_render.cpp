@@ -1,0 +1,65 @@
+#include "util/ascii_render.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bda {
+
+std::string render_field(const RField2D& f, real lo, real hi) {
+  static const char ramp[] = " .:-=+*#%@";
+  constexpr int nramp = sizeof(ramp) - 2;
+  std::ostringstream os;
+  // j decreasing so north is up, matching a map view.
+  for (idx j = f.ny() - 1; j >= 0; --j) {
+    for (idx i = 0; i < f.nx(); ++i) {
+      real t = (f(i, j) - lo) / (hi - lo);
+      t = std::clamp<real>(t, 0, 1);
+      os << ramp[static_cast<int>(t * nramp + real(0.5))];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_dbz(const RField2D& f) {
+  std::ostringstream os;
+  for (idx j = f.ny() - 1; j >= 0; --j) {
+    for (idx i = 0; i < f.nx(); ++i) {
+      const real z = f(i, j);
+      char c = ' ';
+      if (z >= 50)
+        c = '@';
+      else if (z >= 40)
+        c = 'O';
+      else if (z >= 30)
+        c = 'o';
+      else if (z >= 20)
+        c = ':';
+      else if (z >= 10)
+        c = '.';
+      os << c;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+RField2D slice_k(const RField3D& f, idx k) {
+  RField2D out(f.nx(), f.ny(), 0);
+  for (idx i = 0; i < f.nx(); ++i)
+    for (idx j = 0; j < f.ny(); ++j) out(i, j) = f(i, j, k);
+  return out;
+}
+
+RField2D column_max(const RField3D& f, idx k0, idx k1) {
+  RField2D out(f.nx(), f.ny(), 0);
+  for (idx i = 0; i < f.nx(); ++i)
+    for (idx j = 0; j < f.ny(); ++j) {
+      real m = f(i, j, k0);
+      for (idx k = k0 + 1; k < k1; ++k) m = std::max(m, f(i, j, k));
+      out(i, j) = m;
+    }
+  return out;
+}
+
+}  // namespace bda

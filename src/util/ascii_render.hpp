@@ -1,0 +1,29 @@
+// ASCII rendering of 2-D fields.
+//
+// The paper's Figs 1, 6 and 8 are map views and 3-D views of radar
+// reflectivity.  Our benches render the same fields as terminal "maps" so
+// forecast/observation agreement can be inspected directly in bench output.
+// The dBZ character ramp mirrors the paper's color classes (shades above
+// 40 dBZ are the hazardous ones).
+#pragma once
+
+#include <string>
+
+#include "util/field.hpp"
+
+namespace bda {
+
+/// Render a horizontal slice with a linear ramp between lo and hi.
+std::string render_field(const RField2D& f, real lo, real hi);
+
+/// Render reflectivity (dBZ) with the meteorological intensity classes:
+/// ' ' <10, '.' 10-20, ':' 20-30, 'o' 30-40, 'O' 40-50, '@' >=50 dBZ.
+std::string render_dbz(const RField2D& f);
+
+/// Extract a horizontal slice at model level k from a 3-D field.
+RField2D slice_k(const RField3D& f, idx k);
+
+/// Column maximum over levels [k0, k1) — "composite reflectivity" view.
+RField2D column_max(const RField3D& f, idx k0, idx k1);
+
+}  // namespace bda

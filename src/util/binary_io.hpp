@@ -1,0 +1,37 @@
+// Simple self-describing binary container for 3-D fields ("BDF1" format).
+//
+// Stands in for the NetCDF files the real system writes: the final forecast
+// product whose file timestamp defines the end of time-to-solution (paper
+// Sec. 6.1, "Measurement mechanism: final product file time stamp"), and the
+// legacy SCALE<->LETKF file transport that the parallel in-memory path
+// replaced.  Little-endian; header carries dims and scalar width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/field.hpp"
+
+namespace bda {
+
+struct FieldRecord {
+  std::string name;       ///< variable name, e.g. "qr" or "reflectivity"
+  Field3D<float> data;    ///< interior values (halo is never serialized)
+};
+
+/// Write records to `path`; throws std::runtime_error on I/O failure.
+void write_bdf(const std::string& path, const std::vector<FieldRecord>& recs);
+
+/// Read all records; throws std::runtime_error on missing/corrupt file.
+std::vector<FieldRecord> read_bdf(const std::string& path);
+
+/// Serialize to an in-memory buffer (used by the in-memory transport and by
+/// JIT-DT framing tests).
+std::vector<std::uint8_t> encode_bdf(const std::vector<FieldRecord>& recs);
+std::vector<FieldRecord> decode_bdf(const std::vector<std::uint8_t>& buf);
+
+/// CRC32 (IEEE) — JIT-DT verifies every transferred chunk with this.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+}  // namespace bda

@@ -1,0 +1,57 @@
+#include "util/codec.hpp"
+
+#include <stdexcept>
+
+namespace bda {
+
+namespace {
+constexpr std::uint8_t kEscape = 0xAB;
+constexpr std::size_t kMinRun = 4;
+constexpr std::size_t kMaxRun = 65535;
+}  // namespace
+
+std::vector<std::uint8_t> encode_rle(const std::vector<std::uint8_t>& in) {
+  std::vector<std::uint8_t> out;
+  out.reserve(in.size() / 2 + 16);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    // Measure the run at i.
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == in[i] && run < kMaxRun)
+      ++run;
+    if (run >= kMinRun || in[i] == kEscape) {
+      out.push_back(kEscape);
+      out.push_back(std::uint8_t(run & 0xFF));
+      out.push_back(std::uint8_t(run >> 8));
+      out.push_back(in[i]);
+      i += run;
+    } else {
+      out.push_back(in[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decode_rle(const std::vector<std::uint8_t>& in) {
+  std::vector<std::uint8_t> out;
+  out.reserve(in.size() * 2);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    if (in[i] == kEscape) {
+      if (i + 3 >= in.size())
+        throw std::runtime_error("RLE: truncated escape sequence");
+      const std::size_t run =
+          std::size_t(in[i + 1]) | (std::size_t(in[i + 2]) << 8);
+      if (run == 0) throw std::runtime_error("RLE: zero-length run");
+      out.insert(out.end(), run, in[i + 3]);
+      i += 4;
+    } else {
+      out.push_back(in[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace bda

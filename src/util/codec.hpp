@@ -1,0 +1,25 @@
+// Byte-level run-length codec.
+//
+// A volume scan is mostly clear air: long runs of identical bytes in the
+// reflectivity floor and the flag plane.  The operational transfer chain
+// compresses scans before they hit the wire; this RLE codec provides the
+// same lever for JIT-DT (compress -> transfer fewer bytes -> decompress),
+// with exact round-trip guarantees.
+//
+// Format: a sequence of (count, byte) pairs for runs of length >= 4 escaped
+// as {kEscape, count_lo, count_hi, byte}; literal bytes otherwise, with the
+// escape byte itself escaped as a run of length 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bda {
+
+/// Compress; never fails.  Worst case inflates by ~4/255 per escape byte.
+std::vector<std::uint8_t> encode_rle(const std::vector<std::uint8_t>& in);
+
+/// Decompress; throws std::runtime_error on malformed input.
+std::vector<std::uint8_t> decode_rle(const std::vector<std::uint8_t>& in);
+
+}  // namespace bda

@@ -1,0 +1,116 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bda {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments (full-line or trailing).
+    const auto hash = line.find_first_of("#;");
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        throw std::runtime_error("config line " + std::to_string(lineno) +
+                                 ": unterminated section header");
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::runtime_error("config line " + std::to_string(lineno) +
+                               ": expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty())
+      throw std::runtime_error("config line " + std::to_string(lineno) +
+                               ": empty key");
+    cfg.values_[section.empty() ? key : section + "." + key] = value;
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str());
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(const std::string& key,
+                           const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Config::get_or(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  return v ? std::stod(*v) : fallback;
+}
+
+long Config::get_or(const std::string& key, long fallback) const {
+  const auto v = get(key);
+  return v ? std::stol(*v) : fallback;
+}
+
+bool Config::get_or(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  std::string s = *v;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "true" || s == "yes" || s == "on" || s == "1") return true;
+  if (s == "false" || s == "no" || s == "off" || s == "0") return false;
+  throw std::runtime_error("config key " + key + ": not a boolean: " + *v);
+}
+
+std::string Config::require(const std::string& key) const {
+  const auto v = get(key);
+  if (!v) throw std::runtime_error("config key missing: " + key);
+  return *v;
+}
+
+double Config::require_double(const std::string& key) const {
+  return std::stod(require(key));
+}
+
+long Config::require_long(const std::string& key) const {
+  return std::stol(require(key));
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+}  // namespace bda

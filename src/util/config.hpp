@@ -1,0 +1,45 @@
+// Minimal INI-style configuration reader.
+//
+// The operational SCALE-LETKF is driven by Fortran namelists; our examples
+// use the same idea — a flat text file of `[section]` + `key = value` lines —
+// so experiment configurations (Tables 2 and 3 of the paper) can be changed
+// without recompiling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace bda {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text.  Lines: `[section]`, `key = value`, `#`/`;` comments.
+  /// Throws std::runtime_error with line number on malformed input.
+  static Config parse(const std::string& text);
+
+  /// Parse a file; throws std::runtime_error if unreadable.
+  static Config load(const std::string& path);
+
+  /// Typed getters; key is "section.key".  The `get_or` forms return the
+  /// fallback when the key is absent; the `require` forms throw.
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  double get_or(const std::string& key, double fallback) const;
+  long get_or(const std::string& key, long fallback) const;
+  bool get_or(const std::string& key, bool fallback) const;
+  std::string require(const std::string& key) const;
+  double require_double(const std::string& key) const;
+  long require_long(const std::string& key) const;
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace bda

@@ -1,0 +1,42 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace bda {
+
+namespace {
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger::Logger()
+    : sink_([](LogLevel lvl, const std::string& msg) {
+        std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+      }) {}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto prev = std::move(sink_);
+  sink_ = std::move(sink);
+  return prev;
+}
+
+void Logger::log(LogLevel lvl, const std::string& msg) {
+  if (static_cast<int>(lvl) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) sink_(lvl, msg);
+}
+
+}  // namespace bda

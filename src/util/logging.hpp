@@ -1,0 +1,68 @@
+// Leveled logger.
+//
+// The operational system's fail-safe relied on monitoring logs of every
+// workflow component (JIT-DT restarts, cycle delays).  Our orchestrator and
+// JIT-DT watchdog log through this interface; tests capture it via a sink.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace bda {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Process-wide logger.  Default sink writes to stderr.
+  static Logger& global();
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  LogLevel level() const { return level_; }
+  /// Replace the sink (returns the previous one so tests can restore it).
+  Sink set_sink(Sink sink);
+
+  void log(LogLevel lvl, const std::string& msg);
+
+ private:
+  Logger();
+  std::mutex mu_;
+  LogLevel level_ = LogLevel::kInfo;
+  Sink sink_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  Logger::global().log(LogLevel::kDebug,
+                       detail::cat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  Logger::global().log(LogLevel::kInfo,
+                       detail::cat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  Logger::global().log(LogLevel::kWarn,
+                       detail::cat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  Logger::global().log(LogLevel::kError,
+                       detail::cat(std::forward<Args>(args)...));
+}
+
+}  // namespace bda

@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in the reproduction — ensemble perturbations,
+// observation noise, synthetic rain climatology, failure injection — draws
+// from this generator so that every test, bench and example is exactly
+// reproducible from its seed.  xoshiro256** is used for speed and good
+// statistical quality without pulling in <random>'s implementation-defined
+// distributions (std::normal_distribution output differs across libstdc++
+// versions; ours does not).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bda {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Sample k distinct indices from [0, n) (Floyd's algorithm).  Used to
+  /// pick the 10 random analysis members that initialize the 30-minute
+  /// ensemble forecast (paper Sec. 5, part <2>).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derive an independent stream (for per-member / per-thread use).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace bda

@@ -1,0 +1,98 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace bda {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / double(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double d = o.mean_ - mean_;
+  const std::size_t n = n_ + o.n_;
+  m2_ += o.m2_ + d * d * double(n_) * double(o.n_) / double(n);
+  mean_ += d * double(o.n_) / double(n);
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  n_ = n;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = (p / 100.0) * double(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - double(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double fraction_below(const std::vector<double>& v, double threshold) {
+  if (v.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double x : v)
+    if (x <= threshold) ++n;
+  return double(n) / double(v.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+void Histogram::add(double x) {
+  const double w = (hi_ - lo_) / double(counts_.size());
+  long b = static_cast<long>(std::floor((x - lo_) / w));
+  b = std::clamp<long>(b, 0, long(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * double(b) / double(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * double(b + 1) / double(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[%6.2f,%6.2f) %8zu |", bin_lo(b),
+                  bin_hi(b), counts_[b]);
+    os << buf;
+    const std::size_t bar = counts_[b] * width / peak;
+    for (std::size_t i = 0; i < bar; ++i) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bda

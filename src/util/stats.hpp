@@ -1,0 +1,62 @@
+// Streaming statistics and histograms.
+//
+// Used throughout the benches: Fig 5 is a time-to-solution time series plus
+// a histogram with the "~97% under 3 minutes" headline; the verification
+// module aggregates threat scores; the performance model is calibrated from
+// measured kernel-time distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bda {
+
+/// Welford single-pass mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * double(n_) : 0.0; }
+  void merge(const RunningStats& o);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// `p` in [0,100].  The input vector is copied and sorted.
+double percentile(std::vector<double> v, double p);
+
+/// Fraction of samples <= threshold (e.g. fraction of cycles with
+/// time-to-solution under 3 minutes).
+double fraction_below(const std::vector<double>& v, double threshold);
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into the
+/// first/last bin so total count always equals samples added.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t b) const { return counts_[b]; }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t b) const;
+  double bin_hi(std::size_t b) const;
+  /// Multi-line ASCII bar rendering, used by the Fig 5(c) bench output.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace bda

@@ -1,0 +1,43 @@
+// Fundamental scalar types for the BDA reproduction.
+//
+// The paper's headline software innovation is running both the weather model
+// (SCALE) and the data assimilation (LETKF) in *single precision* for a ~2x
+// speedup over the conventional double-precision configuration.  We follow
+// that choice: `bda::real` is float.  Modules that participate in the
+// precision ablation (bench_ablation_precision) are templated on the scalar
+// type so the double-precision baseline remains available.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bda {
+
+/// Default floating-point type for model state and analysis (paper: single).
+using real = float;
+
+/// Index type for grid dimensions.  Signed so halo indices (-h..n+h) are
+/// representable without casts.
+using idx = std::int64_t;
+
+/// Physical constants shared between the model, observation operators and
+/// verification.  Values follow the conventions of regional NWP models.
+template <typename T>
+struct Constants {
+  static constexpr T grav = T(9.80665);    ///< gravity [m/s2]
+  static constexpr T rdry = T(287.04);     ///< gas constant, dry air [J/kg/K]
+  static constexpr T rvap = T(461.50);     ///< gas constant, vapor [J/kg/K]
+  static constexpr T cp = T(1004.64);      ///< specific heat, const p [J/kg/K]
+  static constexpr T cv = T(717.60);       ///< specific heat, const v [J/kg/K]
+  static constexpr T pres00 = T(100000.0); ///< reference pressure [Pa]
+  static constexpr T lhv = T(2.501e6);     ///< latent heat, vaporization [J/kg]
+  static constexpr T lhf = T(3.34e5);      ///< latent heat, fusion [J/kg]
+  static constexpr T lhs = T(2.835e6);     ///< latent heat, sublimation [J/kg]
+  static constexpr T tem00 = T(273.15);    ///< freezing point [K]
+  static constexpr T dens_water = T(1000.0); ///< liquid water density [kg/m3]
+  static constexpr T kappa = rdry / cp;    ///< R/cp exponent
+};
+
+using Const = Constants<real>;
+
+}  // namespace bda

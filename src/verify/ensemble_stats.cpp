@@ -1,0 +1,88 @@
+#include "verify/ensemble_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bda::verify {
+
+std::size_t rank_of_truth(std::span<const real> members, real truth) {
+  std::size_t rank = 0;
+  for (real m : members)
+    if (m < truth) ++rank;
+  return rank;
+}
+
+RankHistogram::RankHistogram(std::size_t n_members)
+    : counts_(n_members + 1, 0) {}
+
+void RankHistogram::add(std::span<const real> members, real truth) {
+  const std::size_t r = rank_of_truth(members, truth);
+  counts_[std::min(r, counts_.size() - 1)] += 1;
+  ++total_;
+}
+
+double RankHistogram::outlier_ratio() const {
+  if (total_ == 0) return 0.0;
+  const double expect = 2.0 * double(total_) / double(counts_.size());
+  const double outer = double(counts_.front() + counts_.back());
+  return outer / expect;
+}
+
+double RankHistogram::chi_square() const {
+  if (total_ == 0) return 0.0;
+  const double expect = double(total_) / double(counts_.size());
+  double chi = 0;
+  for (std::size_t c : counts_) {
+    const double d = double(c) - expect;
+    chi += d * d / expect;
+  }
+  return chi;
+}
+
+void SpreadSkill::add(std::span<const real> members, real truth) {
+  const std::size_t k = members.size();
+  if (k < 2) return;
+  double mean = 0;
+  for (real m : members) mean += m;
+  mean /= double(k);
+  double var = 0;
+  for (real m : members) var += (m - mean) * (m - mean);
+  var /= double(k - 1);
+  sum_var_ += var;
+  const double err = mean - double(truth);
+  sum_err2_ += err * err;
+  ++n_;
+}
+
+double SpreadSkill::mean_spread() const {
+  return n_ ? sum_var_ / double(n_) : 0.0;
+}
+
+double SpreadSkill::mean_error2() const {
+  return n_ ? sum_err2_ / double(n_) : 0.0;
+}
+
+double SpreadSkill::consistency_ratio() const {
+  const double sp = mean_spread();
+  if (sp <= 0.0) return 0.0;
+  return std::sqrt(mean_error2() / sp);
+}
+
+void InnovationStats::add(double innovation, double obs_error) {
+  const double z = innovation / std::max(obs_error, 1e-12);
+  sum_ += z;
+  sum2_ += z * z;
+  ++count;
+}
+
+double InnovationStats::mean() const {
+  return count ? sum_ / double(count) : 0.0;
+}
+
+double InnovationStats::stddev() const {
+  if (count < 2) return 0.0;
+  const double m = mean();
+  return std::sqrt(std::max(sum2_ / double(count) - m * m, 0.0));
+}
+
+}  // namespace bda::verify

@@ -1,0 +1,74 @@
+// Ensemble verification diagnostics.
+//
+// The standard DA-community health checks for a cycling ensemble system
+// like the paper's: rank histograms (is the truth statistically
+// indistinguishable from a member?), spread-skill consistency (does the
+// ensemble spread predict the ensemble-mean error?), and innovation
+// statistics (are observation-space departures consistent with the assumed
+// errors?).  These are the diagnostics behind configuration choices like
+// Table 2's RTPP factor.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace bda::verify {
+
+/// Rank of `truth` within the sorted ensemble values (0..k inclusive).
+/// A calibrated ensemble yields uniformly distributed ranks; U-shaped
+/// histograms mean under-dispersion (the failure RTPP guards against).
+std::size_t rank_of_truth(std::span<const real> members, real truth);
+
+/// Accumulates rank histograms over many (ensemble, truth) samples.
+class RankHistogram {
+ public:
+  explicit RankHistogram(std::size_t n_members);
+  void add(std::span<const real> members, real truth);
+  const std::vector<std::size_t>& counts() const { return counts_; }
+  std::size_t samples() const { return total_; }
+  /// Ratio of outermost-bin mass to the uniform expectation; ~1 for a
+  /// calibrated ensemble, >> 1 when under-dispersive.
+  double outlier_ratio() const;
+  /// Chi-square statistic against uniformity (k degrees of freedom).
+  double chi_square() const;
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Spread-skill accumulator: for each sample, the ensemble variance and the
+/// squared ensemble-mean error.  For a statistically consistent system,
+/// mean(error^2) ~ (1 + 1/k) * mean(variance).
+class SpreadSkill {
+ public:
+  void add(std::span<const real> members, real truth);
+  std::size_t samples() const { return n_; }
+  double mean_spread() const;  ///< mean ensemble variance
+  double mean_error2() const;  ///< mean squared error of the ensemble mean
+  /// sqrt(error2 / spread); ~sqrt(1 + 1/k) when consistent, > that when
+  /// under-dispersive.
+  double consistency_ratio() const;
+
+ private:
+  double sum_var_ = 0, sum_err2_ = 0;
+  std::size_t n_ = 0;
+};
+
+/// Observation-space departure statistics: mean (bias) and standard
+/// deviation of (obs - H(mean)) normalized by the assumed obs error.  A
+/// well-tuned system has |bias| << 1 and sd ~ sqrt(1 + spread/R).
+struct InnovationStats {
+  void add(double innovation, double obs_error);
+  std::size_t count = 0;
+  double mean() const;
+  double stddev() const;
+
+ private:
+  double sum_ = 0, sum2_ = 0;
+};
+
+}  // namespace bda::verify

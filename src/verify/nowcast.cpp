@@ -1,0 +1,99 @@
+#include "verify/nowcast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bda::verify {
+
+MotionVector estimate_block_motion(const RField2D& earlier,
+                                   const RField2D& later, idx i0, idx j0,
+                                   const NowcastConfig& cfg, double dt_s) {
+  MotionVector mv;
+  const idx nb = cfg.block;
+  if (i0 + nb > earlier.nx() || j0 + nb > earlier.ny()) return mv;
+
+  // Require echo in the earlier block.
+  real peak = -1e9f;
+  for (idx i = i0; i < i0 + nb; ++i)
+    for (idx j = j0; j < j0 + nb; ++j) peak = std::max(peak, earlier(i, j));
+  if (peak < cfg.min_signal) return mv;
+
+  // Search the displacement maximizing the (unnormalized) correlation of
+  // positive echo.
+  real best = -1e30f;
+  idx best_di = 0, best_dj = 0;
+  for (idx di = -cfg.search; di <= cfg.search; ++di)
+    for (idx dj = -cfg.search; dj <= cfg.search; ++dj) {
+      real score = 0;
+      for (idx i = i0; i < i0 + nb; ++i)
+        for (idx j = j0; j < j0 + nb; ++j) {
+          const idx ii = i + di, jj = j + dj;
+          if (ii < 0 || ii >= later.nx() || jj < 0 || jj >= later.ny())
+            continue;
+          const real a = std::max(earlier(i, j), real(0));
+          const real b = std::max(later(ii, jj), real(0));
+          score += a * b;
+        }
+      if (score > best) {
+        best = score;
+        best_di = di;
+        best_dj = dj;
+      }
+    }
+  mv.u = real(best_di / dt_s);
+  mv.v = real(best_dj / dt_s);
+  mv.valid = true;
+  return mv;
+}
+
+MotionVector estimate_motion(const RField2D& earlier, const RField2D& later,
+                             const NowcastConfig& cfg, double dt_s) {
+  std::vector<real> us, vs;
+  for (idx i0 = 0; i0 + cfg.block <= earlier.nx(); i0 += cfg.block)
+    for (idx j0 = 0; j0 + cfg.block <= earlier.ny(); j0 += cfg.block) {
+      const auto mv = estimate_block_motion(earlier, later, i0, j0, cfg,
+                                            dt_s);
+      if (mv.valid) {
+        us.push_back(mv.u);
+        vs.push_back(mv.v);
+      }
+    }
+  MotionVector out;
+  if (us.empty()) return out;
+  auto median = [](std::vector<real>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  out.u = median(us);
+  out.v = median(vs);
+  out.valid = true;
+  return out;
+}
+
+RField2D advect_nowcast(const RField2D& latest, const MotionVector& motion,
+                        double lead_s, real fill) {
+  RField2D out(latest.nx(), latest.ny(), 0);
+  const real sx = real(motion.valid ? motion.u * lead_s : 0.0);
+  const real sy = real(motion.valid ? motion.v * lead_s : 0.0);
+  for (idx i = 0; i < out.nx(); ++i)
+    for (idx j = 0; j < out.ny(); ++j) {
+      const real x = real(i) - sx;
+      const real y = real(j) - sy;
+      const idx i0 = static_cast<idx>(std::floor(x));
+      const idx j0 = static_cast<idx>(std::floor(y));
+      if (i0 < 0 || i0 + 1 >= latest.nx() || j0 < 0 ||
+          j0 + 1 >= latest.ny()) {
+        out(i, j) = fill;
+        continue;
+      }
+      const real fx = x - real(i0);
+      const real fy = y - real(j0);
+      out(i, j) =
+          (latest(i0, j0) * (1 - fx) + latest(i0 + 1, j0) * fx) * (1 - fy) +
+          (latest(i0, j0 + 1) * (1 - fx) + latest(i0 + 1, j0 + 1) * fx) * fy;
+    }
+  return out;
+}
+
+}  // namespace bda::verify

@@ -1,0 +1,47 @@
+// Advection nowcast baseline (the operational comparator).
+//
+// Before BDA, the state of the art for minutes-scale rain prediction was
+// the *nowcast*: estimate the motion of observed echoes from consecutive
+// radar images and advect the latest image forward (JMA's high-resolution
+// nowcast; compared against 30-s NWP in Honda et al. 2022 [34]).  This
+// module implements that baseline honestly: block cross-correlation motion
+// vectors between two scans, median-filtered, then semi-Lagrangian
+// advection of the latest field.  It beats frozen persistence for moving
+// storms — the bar the BDA forecast has to clear for *evolving* storms.
+#pragma once
+
+#include "util/field.hpp"
+
+namespace bda::verify {
+
+struct MotionVector {
+  real u = 0;  ///< cells per second, x
+  real v = 0;  ///< cells per second, y
+  bool valid = false;
+};
+
+struct NowcastConfig {
+  idx block = 8;          ///< correlation block size [cells]
+  idx search = 4;         ///< max displacement searched [cells]
+  real min_signal = 10.0f;  ///< dBZ a block must reach to yield a vector
+};
+
+/// Estimate the displacement (in cells) of `later` relative to `earlier`
+/// maximizing the block cross-correlation; `dt_s` converts to cell/s.
+/// Returns invalid when the block has no echo.
+MotionVector estimate_block_motion(const RField2D& earlier,
+                                   const RField2D& later, idx i0, idx j0,
+                                   const NowcastConfig& cfg, double dt_s);
+
+/// Single domain-wide motion vector: median of all valid block vectors
+/// (robust to isolated growth/decay).
+MotionVector estimate_motion(const RField2D& earlier, const RField2D& later,
+                             const NowcastConfig& cfg, double dt_s);
+
+/// Nowcast: advect `latest` by the estimated motion for `lead_s` seconds
+/// (semi-Lagrangian, bilinear; fill value for cells advected in from
+/// outside).
+RField2D advect_nowcast(const RField2D& latest, const MotionVector& motion,
+                        double lead_s, real fill = -20.0f);
+
+}  // namespace bda::verify

@@ -1,0 +1,35 @@
+#include "verify/persistence.hpp"
+
+#include <cmath>
+
+namespace bda::verify {
+
+RField2D PersistenceForecast::advected(double lead_s, real u, real v, real dx,
+                                       real fill) const {
+  RField2D out(initial_.nx(), initial_.ny(), 0);
+  const real sx = real(u * lead_s / dx);
+  const real sy = real(v * lead_s / dx);
+  for (idx i = 0; i < out.nx(); ++i)
+    for (idx j = 0; j < out.ny(); ++j) {
+      // Semi-Lagrangian backtrack with bilinear sampling.
+      const real x = real(i) - sx;
+      const real y = real(j) - sy;
+      const idx i0 = static_cast<idx>(std::floor(x));
+      const idx j0 = static_cast<idx>(std::floor(y));
+      if (i0 < 0 || i0 + 1 >= initial_.nx() || j0 < 0 ||
+          j0 + 1 >= initial_.ny()) {
+        out(i, j) = fill;
+        continue;
+      }
+      const real fx = x - real(i0);
+      const real fy = y - real(j0);
+      out(i, j) = (initial_(i0, j0) * (1 - fx) + initial_(i0 + 1, j0) * fx) *
+                      (1 - fy) +
+                  (initial_(i0, j0 + 1) * (1 - fx) +
+                   initial_(i0 + 1, j0 + 1) * fx) *
+                      fy;
+    }
+  return out;
+}
+
+}  // namespace bda::verify

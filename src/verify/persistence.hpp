@@ -1,0 +1,34 @@
+// Persistence-forecast baseline.
+//
+// "In the persistence forecast, the initial rain patterns are taken from
+// the MP-PAWR observation and do not evolve" (Sec. 6.1).  At lead time 0 it
+// is perfect by construction (Fig 7: the black curve starts at 1); skill
+// then decays as convection evolves.  The optional advection variant
+// translates the initial pattern with a constant steering wind — the
+// classic nowcast upgrade the BDA forecast must also beat.
+#pragma once
+
+#include "util/field.hpp"
+
+namespace bda::verify {
+
+class PersistenceForecast {
+ public:
+  /// Capture the initial observed field (e.g. 2-km reflectivity).
+  explicit PersistenceForecast(RField2D initial)
+      : initial_(std::move(initial)) {}
+
+  /// Forecast at any lead time: the initial field, unchanged.
+  const RField2D& at(double /*lead_s*/) const { return initial_; }
+
+  /// Advected variant: the pattern translated by (u, v) * lead [m],
+  /// grid spacing dx; cells advected in from outside carry "no rain"
+  /// (fill value).
+  RField2D advected(double lead_s, real u, real v, real dx,
+                    real fill = -20.0f) const;
+
+ private:
+  RField2D initial_;
+};
+
+}  // namespace bda::verify

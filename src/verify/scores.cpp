@@ -1,0 +1,113 @@
+#include "verify/scores.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace bda::verify {
+
+double Contingency::threat_score() const {
+  const std::size_t denom = hits + misses + false_alarms;
+  if (denom == 0) return 1.0;  // event absent everywhere: perfect agreement
+  return double(hits) / double(denom);
+}
+
+double Contingency::pod() const {
+  const std::size_t denom = hits + misses;
+  return denom ? double(hits) / double(denom) : 1.0;
+}
+
+double Contingency::far() const {
+  const std::size_t denom = hits + false_alarms;
+  return denom ? double(false_alarms) / double(denom) : 0.0;
+}
+
+double Contingency::bias() const {
+  const std::size_t denom = hits + misses;
+  return denom ? double(hits + false_alarms) / double(denom) : 1.0;
+}
+
+Contingency contingency(const RField2D& forecast, const RField2D& observed,
+                        real threshold,
+                        const Field2D<std::uint8_t>* mask) {
+  Contingency c;
+  for (idx i = 0; i < forecast.nx(); ++i)
+    for (idx j = 0; j < forecast.ny(); ++j) {
+      if (mask && (*mask)(i, j) == 0) continue;
+      const bool f = forecast(i, j) >= threshold;
+      const bool o = observed(i, j) >= threshold;
+      if (f && o)
+        ++c.hits;
+      else if (!f && o)
+        ++c.misses;
+      else if (f && !o)
+        ++c.false_alarms;
+      else
+        ++c.correct_negatives;
+    }
+  return c;
+}
+
+std::size_t exceed_area(const RField2D& f, real threshold) {
+  std::size_t n = 0;
+  for (idx i = 0; i < f.nx(); ++i)
+    for (idx j = 0; j < f.ny(); ++j)
+      if (f(i, j) >= threshold) ++n;
+  return n;
+}
+
+double rmse(const RField2D& a, const RField2D& b) {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (idx i = 0; i < a.nx(); ++i)
+    for (idx j = 0; j < a.ny(); ++j) {
+      const double d = double(a(i, j)) - double(b(i, j));
+      s += d * d;
+      ++n;
+    }
+  return n ? std::sqrt(s / double(n)) : 0.0;
+}
+
+double fractions_skill_score(const RField2D& forecast,
+                             const RField2D& observed, real threshold,
+                             idx neighborhood) {
+  const idx nx = forecast.nx(), ny = forecast.ny();
+  // Binary event fields -> box-averaged fractions (clamped windows).
+  auto fraction_at = [&](const RField2D& f, idx i, idx j) {
+    const idx i0 = std::max<idx>(i - neighborhood, 0);
+    const idx i1 = std::min<idx>(i + neighborhood, nx - 1);
+    const idx j0 = std::max<idx>(j - neighborhood, 0);
+    const idx j1 = std::min<idx>(j + neighborhood, ny - 1);
+    std::size_t hit = 0, tot = 0;
+    for (idx ii = i0; ii <= i1; ++ii)
+      for (idx jj = j0; jj <= j1; ++jj) {
+        if (f(ii, jj) >= threshold) ++hit;
+        ++tot;
+      }
+    return double(hit) / double(tot);
+  };
+  double num = 0, den = 0;
+  for (idx i = 0; i < nx; ++i)
+    for (idx j = 0; j < ny; ++j) {
+      const double pf = fraction_at(forecast, i, j);
+      const double po = fraction_at(observed, i, j);
+      num += (pf - po) * (pf - po);
+      den += pf * pf + po * po;
+    }
+  if (den == 0.0) return 1.0;  // event absent everywhere in both
+  return 1.0 - num / den;
+}
+
+double rmse3(const RField3D& a, const RField3D& b) {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (idx i = 0; i < a.nx(); ++i)
+    for (idx j = 0; j < a.ny(); ++j)
+      for (idx k = 0; k < a.nz(); ++k) {
+        const double d = double(a(i, j, k)) - double(b(i, j, k));
+        s += d * d;
+        ++n;
+      }
+  return n ? std::sqrt(s / double(n)) : 0.0;
+}
+
+}  // namespace bda::verify

@@ -1,0 +1,58 @@
+// Forecast verification.
+//
+// The paper evaluates heavy-rain skill with the *threat score* (critical
+// success index) of radar reflectivity at the 30 dBZ threshold (Fig 7),
+// against a persistence baseline — "a common practice in the meteorological
+// domain science".  Rain-area statistics (Fig 5 cyan/blue curves) come from
+// the same contingency machinery.
+#pragma once
+
+#include <cstddef>
+
+#include "util/field.hpp"
+
+namespace bda::verify {
+
+/// 2x2 contingency table of forecast vs observation exceeding a threshold.
+struct Contingency {
+  std::size_t hits = 0;          ///< both exceed
+  std::size_t misses = 0;        ///< obs exceeds, forecast does not
+  std::size_t false_alarms = 0;  ///< forecast exceeds, obs does not
+  std::size_t correct_negatives = 0;
+
+  /// Threat score (CSI) = hits / (hits + misses + false alarms); defined as
+  /// 1 when the event occurs nowhere in either field (perfect agreement).
+  double threat_score() const;
+  /// Probability of detection = hits / (hits + misses).
+  double pod() const;
+  /// False-alarm ratio = false alarms / (hits + false alarms).
+  double far() const;
+  /// Frequency bias = (hits + false alarms) / (hits + misses).
+  double bias() const;
+};
+
+/// Build the table comparing two 2-D fields at `threshold`.  An optional
+/// mask (same shape, nonzero = valid) restricts to observed area, matching
+/// the paper's exclusion of no-data regions (Fig 6b hatching).
+Contingency contingency(const RField2D& forecast, const RField2D& observed,
+                        real threshold, const Field2D<std::uint8_t>* mask =
+                                             nullptr);
+
+/// Area [number of cells] where the field exceeds the threshold.
+std::size_t exceed_area(const RField2D& f, real threshold);
+
+/// Root-mean-square difference over the interior.
+double rmse(const RField2D& a, const RField2D& b);
+double rmse3(const RField3D& a, const RField3D& b);
+
+/// Fractions skill score (Roberts & Lean 2008): neighborhood verification
+/// for high-resolution rain forecasts, the standard remedy for the
+/// "double penalty" that grid-point scores charge a slightly displaced
+/// storm.  Event fractions are computed in (2n+1)^2 boxes; FSS = 1 -
+/// sum((Pf-Po)^2) / (sum(Pf^2) + sum(Po^2)).  1 = perfect, 0 = no skill;
+/// for a displaced feature FSS grows with neighborhood size.
+double fractions_skill_score(const RField2D& forecast,
+                             const RField2D& observed, real threshold,
+                             idx neighborhood);
+
+}  // namespace bda::verify

@@ -1,0 +1,217 @@
+#include "workflow/cycle.hpp"
+
+#include <cmath>
+
+#include "scale/microphysics.hpp"
+
+namespace bda::workflow {
+
+namespace {
+/// Regional (nested) runs relax a Davies rim toward the outer state; the
+/// model halos must then be clamped, not periodic.
+scale::ModelConfig adjusted_model(const BdaSystemConfig& cfg) {
+  scale::ModelConfig m = cfg.model;
+  if (cfg.use_outer_domain)
+    m.dyn.lateral_bc = scale::LateralBc::kClamp;
+  return m;
+}
+}  // namespace
+
+BdaSystem::BdaSystem(const scale::Grid& grid, const scale::Sounding& sounding,
+                     BdaSystemConfig cfg)
+    : grid_(grid), cfg_(cfg), rng_(cfg.seed),
+      nature_(grid_, sounding, adjusted_model(cfg)),
+      ens_(grid_, sounding, adjusted_model(cfg), cfg.n_members),
+      radar_(grid_, cfg.scan, cfg.radar),
+      extra_radars_([&] {
+        std::vector<pawr::RadarSimulator> v;
+        v.reserve(cfg.extra_radars.size());
+        for (const auto& rc : cfg.extra_radars)
+          v.emplace_back(grid_, cfg.scan, rc);
+        return v;
+      }()),
+      letkf_(grid_, cfg.letkf),
+      obsop_(grid_, cfg.radar.radar_x, cfg.radar.radar_y, cfg.radar.radar_z,
+             cfg.radar.micro) {
+  if (cfg_.use_outer_domain) {
+    // Outer domain: same horizontal cell count at coarser spacing (so it
+    // covers outer_dx/dx times the inner extent, centered — Fig 3a) and
+    // the exact inner vertical column.
+    outer_grid_ = std::make_unique<scale::Grid>(scale::Grid::with_faces(
+        grid_.nx(), grid_.ny(), cfg_.outer_dx, grid_.faces()));
+    scale::ModelConfig ocfg = cfg_.model;
+    ocfg.dt *= cfg_.outer_dx / grid_.dx();  // coarser grid, longer step
+    ocfg.dyn.lateral_bc = scale::LateralBc::kClamp;
+    outer_model_ =
+        std::make_unique<scale::Model>(*outer_grid_, sounding, ocfg);
+    meso_driver_ = std::make_unique<scale::SyntheticMesoscaleDriver>(
+        *outer_grid_, outer_model_->reference(), 5.0f, 2.0f);
+    outer_model_->set_boundary(meso_driver_.get(), 4, 60.0f);
+
+    inner_bc_ = std::make_unique<scale::State>(grid_);
+    bc_driver_ = std::make_unique<scale::StateDriver>(inner_bc_.get());
+    refresh_outer_boundary();  // initial boundary at t = 0
+    nature_.set_boundary(bc_driver_.get(), cfg_.davies_width,
+                         cfg_.davies_tau);
+    ens_.set_boundary(bc_driver_.get(), cfg_.davies_width, cfg_.davies_tau);
+  }
+}
+
+void BdaSystem::refresh_outer_boundary() {
+  if (!cfg_.use_outer_domain) return;
+  if (time_ - last_outer_refresh_ < cfg_.outer_refresh_s) return;
+  // Advance the outer forecast to the current time and downscale it.
+  const double lag = time_ - outer_model_->time();
+  if (lag > 0) outer_model_->advance(real(lag));
+  scale::nest_interpolate(outer_model_->state(), *outer_grid_, *inner_bc_,
+                          grid_);
+  last_outer_refresh_ = time_;
+}
+
+void BdaSystem::spinup_nature(double seconds) {
+  nature_.advance(real(seconds));
+  time_ = nature_.time();
+  ens_.set_time(time_);
+}
+
+void BdaSystem::spinup(double seconds) {
+  nature_.advance(real(seconds));
+  ens_.advance(real(seconds));
+  time_ = nature_.time();
+}
+
+void BdaSystem::trigger_storm(real x, real y, real amplitude,
+                              bool in_ensemble, real displace) {
+  scale::add_thermal_bubble(nature_.state(), grid_, x, y, 1200.0f, 3000.0f,
+                            1200.0f, amplitude);
+  scale::add_moisture_anomaly(nature_.state(), grid_, x, y, 1000.0f, 4000.0f,
+                              1500.0f, 0.002f);
+  if (in_ensemble) {
+    for (int m = 0; m < ens_.size(); ++m) {
+      // Same storm, displaced and weakened differently per member: the
+      // ensemble "knows" convection is around but not exactly where —
+      // the situation the 30-s radar refresh corrects.
+      const real dx = real(rng_.normal(0.0, displace));
+      const real dy = real(rng_.normal(0.0, displace));
+      const real amp = amplitude * real(0.7 + 0.3 * rng_.uniform());
+      scale::add_thermal_bubble(ens_.member(m), grid_, x + dx, y + dy,
+                                1200.0f, 3000.0f, 1200.0f, amp);
+      scale::add_moisture_anomaly(ens_.member(m), grid_, x + dx, y + dy,
+                                  1000.0f, 4000.0f, 1500.0f, 0.002f);
+    }
+  }
+}
+
+void BdaSystem::perturb_ensemble() {
+  ens_.perturb(cfg_.perturb, rng_);
+}
+
+pawr::VolumeScan BdaSystem::observe_nature() {
+  return radar_.observe(nature_.state(), time_, rng_);
+}
+
+CycleResult BdaSystem::cycle() {
+  CycleResult res;
+
+  // Fig 3 cadence: refresh the nested lateral boundary when the outer
+  // domain's 3-hourly (scaled) forecast is due.
+  refresh_outer_boundary();
+
+  // Nature evolves to the new observation time.
+  nature_.advance(real(cfg_.cycle_s));
+  time_ = nature_.time();
+
+  // Radar completes its volume scan of the truth (T_obs).
+  pawr::VolumeScan scan = radar_.observe(nature_.state(), time_, rng_);
+  res.t_obs = time_;
+
+  // Optionally push the scan bytes through JIT-DT (the real data path).
+  if (cfg_.transfer_scans) {
+    jitdt::JitDtLink link(cfg_.jitdt);
+    const auto bytes = pawr::encode_scan(scan);
+    std::vector<std::uint8_t> delivered;
+    res.transfer = link.transfer(bytes, delivered);
+    scan = pawr::decode_scan(delivered);
+  }
+
+  // Regrid to analysis-grid observations (Table 2: 500-m resolution).
+  auto obs =
+      pawr::regrid_scan(scan, grid_, cfg_.radar.radar_x, cfg_.radar.radar_y,
+                        cfg_.radar.radar_z, cfg_.obsgen);
+
+  // Multi-radar coverage: every extra site scans the same truth; its
+  // observations (carrying their own beam origin for Doppler) are appended.
+  for (std::size_t r = 0; r < extra_radars_.size(); ++r) {
+    const auto& rc = cfg_.extra_radars[r];
+    const auto extra_scan =
+        extra_radars_[r].observe(nature_.state(), time_, rng_);
+    const auto extra = pawr::regrid_scan(extra_scan, grid_, rc.radar_x,
+                                         rc.radar_y, rc.radar_z, cfg_.obsgen);
+    obs.insert(obs.end(), extra.begin(), extra.end());
+  }
+  res.n_obs = obs.size();
+
+  // <1-2>: ensemble background at the observation time.
+  ens_.advance(real(cfg_.cycle_s));
+
+  // <1-1>: LETKF analysis.
+  res.analysis = letkf_.analyze(ens_, obs, obsop_);
+  if (cfg_.adaptive_inflation) {
+    adaptive_infl_.update(res.analysis.moments);
+    letkf_.set_inflation(adaptive_infl_.rho());
+  }
+
+  RField2D nat = reflectivity_map(nature_.state());
+  res.nature_max_dbz = nat.interior_max();
+  return res;
+}
+
+RField2D BdaSystem::reflectivity_map(const scale::State& s,
+                                     real height_m) const {
+  idx kz = grid_.nz() - 1;
+  for (idx k = 0; k < grid_.nz(); ++k)
+    if (height_m < grid_.zf(k + 1)) {
+      kz = k;
+      break;
+    }
+  RField2D out(s.nx, s.ny, 0);
+  for (idx i = 0; i < s.nx; ++i)
+    for (idx j = 0; j < s.ny; ++j)
+      out(i, j) = scale::cell_reflectivity_dbz(s, i, j, kz);
+  return out;
+}
+
+std::vector<RField2D> run_forecast_maps(const scale::Grid& grid,
+                                        const scale::Sounding& sounding,
+                                        const scale::ModelConfig& cfg,
+                                        const scale::State& init,
+                                        double lead_s, double out_every_s,
+                                        real height_m) {
+  scale::Model fc(grid, sounding, cfg);
+  fc.state() = init;
+
+  idx kz = grid.nz() - 1;
+  for (idx k = 0; k < grid.nz(); ++k)
+    if (height_m < grid.zf(k + 1)) {
+      kz = k;
+      break;
+    }
+  auto map_now = [&]() {
+    RField2D out(grid.nx(), grid.ny(), 0);
+    for (idx i = 0; i < grid.nx(); ++i)
+      for (idx j = 0; j < grid.ny(); ++j)
+        out(i, j) = scale::cell_reflectivity_dbz(fc.state(), i, j, kz);
+    return out;
+  };
+
+  std::vector<RField2D> maps;
+  maps.push_back(map_now());
+  const long n_out = static_cast<long>(std::floor(lead_s / out_every_s + 0.5));
+  for (long n = 0; n < n_out; ++n) {
+    fc.advance(real(out_every_s));
+    maps.push_back(map_now());
+  }
+  return maps;
+}
+
+}  // namespace bda::workflow

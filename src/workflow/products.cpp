@@ -1,0 +1,98 @@
+#include "workflow/products.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+
+#include "scale/microphysics.hpp"
+#include "util/binary_io.hpp"
+
+namespace bda::workflow {
+
+ProductPaths write_products(const std::string& out_dir,
+                            const scale::Grid& grid, const scale::State& s,
+                            double valid_time_s) {
+  std::filesystem::create_directories(out_dir);
+  const std::string stamp = std::to_string(static_cast<long>(valid_time_s));
+
+  // 3-D reflectivity volume.
+  Field3D<float> dbz(grid.nx(), grid.ny(), grid.nz(), 0);
+  for (idx i = 0; i < grid.nx(); ++i)
+    for (idx j = 0; j < grid.ny(); ++j)
+      for (idx k = 0; k < grid.nz(); ++k)
+        dbz(i, j, k) = float(scale::cell_reflectivity_dbz(s, i, j, k));
+
+  // Map view: column-max ("composite") reflectivity as a 1-level field.
+  Field3D<float> composite(grid.nx(), grid.ny(), 1, 0);
+  for (idx i = 0; i < grid.nx(); ++i)
+    for (idx j = 0; j < grid.ny(); ++j) {
+      float m = dbz(i, j, 0);
+      for (idx k = 1; k < grid.nz(); ++k) m = std::max(m, dbz(i, j, k));
+      composite(i, j, 0) = m;
+    }
+
+  ProductPaths paths;
+  paths.map_view = out_dir + "/map_view_" + stamp + ".bdf";
+  paths.volume_3d = out_dir + "/volume3d_" + stamp + ".bdf";
+  write_bdf(paths.map_view, {{"composite_dbz", composite}});
+  write_bdf(paths.volume_3d, {{"dbz", dbz}});
+  return paths;
+}
+
+std::vector<std::size_t> rain_cores(const RField3D& dbz, real threshold) {
+  const idx nx = dbz.nx(), ny = dbz.ny(), nz = dbz.nz();
+  std::vector<std::uint8_t> visited(
+      static_cast<std::size_t>(nx * ny * nz), 0);
+  auto id = [&](idx i, idx j, idx k) {
+    return static_cast<std::size_t>((i * ny + j) * nz + k);
+  };
+
+  std::vector<std::size_t> sizes;
+  std::deque<std::array<idx, 3>> queue;
+  for (idx i = 0; i < nx; ++i)
+    for (idx j = 0; j < ny; ++j)
+      for (idx k = 0; k < nz; ++k) {
+        if (visited[id(i, j, k)] || dbz(i, j, k) < threshold) continue;
+        // Flood fill (6-connectivity).
+        std::size_t count = 0;
+        visited[id(i, j, k)] = 1;
+        queue.push_back({i, j, k});
+        while (!queue.empty()) {
+          auto [ci, cj, ck] = queue.front();
+          queue.pop_front();
+          ++count;
+          const idx di[6] = {1, -1, 0, 0, 0, 0};
+          const idx dj[6] = {0, 0, 1, -1, 0, 0};
+          const idx dk[6] = {0, 0, 0, 0, 1, -1};
+          for (int n = 0; n < 6; ++n) {
+            const idx ni = ci + di[n], nj = cj + dj[n], nk = ck + dk[n];
+            if (ni < 0 || ni >= nx || nj < 0 || nj >= ny || nk < 0 ||
+                nk >= nz)
+              continue;
+            if (visited[id(ni, nj, nk)] || dbz(ni, nj, nk) < threshold)
+              continue;
+            visited[id(ni, nj, nk)] = 1;
+            queue.push_back({ni, nj, nk});
+          }
+        }
+        sizes.push_back(count);
+      }
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+std::vector<std::vector<std::size_t>> dbz_shell_profile(
+    const RField3D& dbz, const std::vector<real>& thresholds) {
+  std::vector<std::vector<std::size_t>> out(
+      thresholds.size(),
+      std::vector<std::size_t>(static_cast<std::size_t>(dbz.nz()), 0));
+  for (idx k = 0; k < dbz.nz(); ++k)
+    for (idx i = 0; i < dbz.nx(); ++i)
+      for (idx j = 0; j < dbz.ny(); ++j)
+        for (std::size_t t = 0; t < thresholds.size(); ++t)
+          if (dbz(i, j, k) >= thresholds[t])
+            ++out[t][static_cast<std::size_t>(k)];
+  return out;
+}
+
+}  // namespace bda::workflow

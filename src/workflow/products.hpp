@@ -1,0 +1,39 @@
+// Final forecast products (Fig 1).
+//
+// The operational chain ends when the product file lands on disk — its
+// timestamp is T_fcst, the end of time-to-solution.  Two products are
+// emitted, matching Fig 1: the map-view rain-intensity field served on the
+// RIKEN web page, and the 3-D reflectivity voxel grid behind MTI's
+// smartphone application's bird's-eye view (also the Fig 8 rendering).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scale/grid.hpp"
+#include "scale/state.hpp"
+#include "util/field.hpp"
+
+namespace bda::workflow {
+
+struct ProductPaths {
+  std::string map_view;   ///< 2-D composite reflectivity (BDF)
+  std::string volume_3d;  ///< full 3-D reflectivity (BDF)
+};
+
+/// Write both products for a forecast state; returns the paths written.
+/// The file timestamps are T_fcst by definition.
+ProductPaths write_products(const std::string& out_dir,
+                            const scale::Grid& grid, const scale::State& s,
+                            double valid_time_s);
+
+/// Identify contiguous 3-D rain cores (>= threshold dBZ, 6-connectivity) in
+/// a reflectivity field: Fig 8's "precise 3-D structures of each rain
+/// core".  Returns per-core voxel counts, largest first.
+std::vector<std::size_t> rain_cores(const RField3D& dbz, real threshold);
+
+/// Per-level area [cells] exceeding each of the 10..50 dBZ shells of Fig 8.
+std::vector<std::vector<std::size_t>> dbz_shell_profile(
+    const RField3D& dbz, const std::vector<real>& thresholds);
+
+}  // namespace bda::workflow

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "hpc/comm.hpp"
+
+namespace bda::hpc {
+namespace {
+
+Buffer make_buffer(std::initializer_list<std::uint8_t> bytes) {
+  return Buffer(bytes);
+}
+
+TEST(Comm, PointToPointDelivers) {
+  CommWorld world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, make_buffer({1, 2, 3}));
+    } else {
+      const Buffer b = comm.recv(0, 7);
+      ASSERT_EQ(b.size(), 3u);
+      EXPECT_EQ(b[0], 1);
+      EXPECT_EQ(b[2], 3);
+    }
+  });
+}
+
+TEST(Comm, TagsKeepMessagesSeparate) {
+  CommWorld world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, make_buffer({10}));
+      comm.send(1, 2, make_buffer({20}));
+    } else {
+      // Receive in the opposite order of sending.
+      const Buffer b2 = comm.recv(0, 2);
+      const Buffer b1 = comm.recv(0, 1);
+      EXPECT_EQ(b2[0], 20);
+      EXPECT_EQ(b1[0], 10);
+    }
+  });
+}
+
+TEST(Comm, FifoPerSourceAndTag) {
+  CommWorld world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (std::uint8_t n = 0; n < 10; ++n) comm.send(1, 0, {n});
+    } else {
+      for (std::uint8_t n = 0; n < 10; ++n) {
+        const Buffer b = comm.recv(0, 0);
+        EXPECT_EQ(b[0], n);
+      }
+    }
+  });
+}
+
+TEST(Comm, RingPassesTokenAround) {
+  const int n = 5;
+  CommWorld world(n);
+  world.run([n](Comm& comm) {
+    const int next = (comm.rank() + 1) % n;
+    const int prev = (comm.rank() + n - 1) % n;
+    if (comm.rank() == 0) {
+      comm.send(next, 0, make_buffer({1}));
+      const Buffer b = comm.recv(prev, 0);
+      EXPECT_EQ(b[0], std::uint8_t(n));
+    } else {
+      Buffer b = comm.recv(prev, 0);
+      b[0] += 1;
+      comm.send(next, 0, b);
+    }
+  });
+}
+
+TEST(Comm, AllreduceSumsAcrossRanks) {
+  CommWorld world(6);
+  world.run([](Comm& comm) {
+    const double total = comm.allreduce_sum(double(comm.rank() + 1));
+    EXPECT_DOUBLE_EQ(total, 21.0);  // 1+..+6
+  });
+}
+
+TEST(Comm, ConsecutiveAllreducesIndependent) {
+  CommWorld world(3);
+  world.run([](Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(1.0), 3.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(double(comm.rank())), 3.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(10.0), 30.0);
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  CommWorld world(4);
+  std::atomic<int> before{0}, after{0};
+  world.run([&](Comm& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    // All ranks passed the pre-barrier increment.
+    EXPECT_EQ(before.load(), 4);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(Comm, GatherCollectsAtRoot) {
+  CommWorld world(4);
+  world.run([](Comm& comm) {
+    Buffer mine = {std::uint8_t(100 + comm.rank())};
+    const auto all = comm.gather(2, mine);
+    if (comm.rank() == 2) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        ASSERT_EQ(all[r].size(), 1u);
+        EXPECT_EQ(all[r][0], std::uint8_t(100 + r));
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Comm, InvalidRankThrows) {
+  CommWorld world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 0) comm.send(5, 0, {1});
+                 // rank 1 exits immediately
+               }),
+               std::out_of_range);
+}
+
+TEST(CommWorld, ZeroRanksRejected) {
+  EXPECT_THROW(CommWorld(0), std::invalid_argument);
+}
+
+TEST(Comm, ExceptionInRankPropagates) {
+  CommWorld world(3);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 1)
+                   throw std::runtime_error("rank 1 failed");
+               }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bda::hpc

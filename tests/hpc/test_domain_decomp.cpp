@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "hpc/domain_decomp.hpp"
+
+namespace bda::hpc {
+namespace {
+
+RField3D make_global(idx nx, idx ny, idx nz) {
+  RField3D g(nx, ny, nz, 2);
+  for (idx i = 0; i < nx; ++i)
+    for (idx j = 0; j < ny; ++j)
+      for (idx k = 0; k < nz; ++k)
+        g(i, j, k) = real(i * 10000 + j * 100 + k);
+  return g;
+}
+
+TEST(TileLayout, PartitionsDomain) {
+  TileLayout t(3, 2, 2, 16, 12);  // rank 3 of a 2x2 grid
+  EXPECT_EQ(t.cx, 1);
+  EXPECT_EQ(t.cy, 1);
+  EXPECT_EQ(t.nx, 8);
+  EXPECT_EQ(t.ny, 6);
+  EXPECT_EQ(t.x0, 8);
+  EXPECT_EQ(t.y0, 6);
+}
+
+TEST(TileLayout, NeighborsArePeriodic) {
+  TileLayout t(0, 2, 2, 8, 8);  // rank 0 at (0, 0)
+  EXPECT_EQ(t.neighbor(1, 0), 1);
+  EXPECT_EQ(t.neighbor(-1, 0), 1);  // wraps
+  EXPECT_EQ(t.neighbor(0, 1), 2);
+  EXPECT_EQ(t.neighbor(0, -1), 2);  // wraps
+  EXPECT_EQ(t.neighbor(1, 1), 3);
+}
+
+TEST(TileLayout, IndivisibleDomainRejected) {
+  EXPECT_THROW(TileLayout(0, 3, 1, 16, 8), std::invalid_argument);
+  EXPECT_THROW(TileLayout(5, 2, 2, 8, 8), std::invalid_argument);
+}
+
+TEST(TileOps, ExtractInsertRoundtrip) {
+  const auto global = make_global(8, 8, 3);
+  RField3D rebuilt(8, 8, 3, 2);
+  for (int r = 0; r < 4; ++r) {
+    TileLayout layout(r, 2, 2, 8, 8);
+    const auto tile = extract_tile(global, layout, 2);
+    insert_tile(tile, layout, rebuilt);
+  }
+  for (idx i = 0; i < 8; ++i)
+    for (idx j = 0; j < 8; ++j)
+      for (idx k = 0; k < 3; ++k)
+        EXPECT_EQ(rebuilt(i, j, k), global(i, j, k));
+}
+
+class ExchangeGrid
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ExchangeGrid, MatchesSerialPeriodicHalo) {
+  const auto [px, py] = GetParam();
+  const idx nx = 8, ny = 8, nz = 3;
+  auto global = make_global(nx, ny, nz);
+  // Reference: the serial periodic halo fill.
+  auto reference = global;
+  reference.fill_halo_periodic();
+
+  CommWorld world(px * py);
+  world.run([&](Comm& comm) {
+    TileLayout layout(comm.rank(), px, py, nx, ny);
+    RField3D tile = extract_tile(global, layout, 2);
+    exchange_halo(comm, layout, tile);
+    // Every halo cell must equal the serial periodic reference at the
+    // corresponding global index.
+    for (idx i = -2; i < layout.nx + 2; ++i)
+      for (idx j = -2; j < layout.ny + 2; ++j)
+        for (idx k = 0; k < nz; ++k) {
+          // Global index of this tile cell, wrapped periodically.
+          idx gi = layout.x0 + i, gj = layout.y0 + j;
+          gi = (gi % nx + nx) % nx;
+          gj = (gj % ny + ny) % ny;
+          ASSERT_EQ(tile(i, j, k), reference(gi, gj, k))
+              << "rank " << comm.rank() << " (" << i << "," << j << ","
+              << k << ")";
+        }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProcessGrids, ExchangeGrid,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(2, 1),
+                      std::make_pair(1, 2), std::make_pair(2, 2),
+                      std::make_pair(4, 2)));
+
+TEST(Exchange, DistinctFieldsViaTagBase) {
+  // Two fields exchanged back to back must not cross-contaminate.
+  const idx nx = 4, ny = 4, nz = 2;
+  auto ga = make_global(nx, ny, nz);
+  RField3D gb(nx, ny, nz, 2);
+  for (idx i = 0; i < nx; ++i)
+    for (idx j = 0; j < ny; ++j)
+      for (idx k = 0; k < nz; ++k) gb(i, j, k) = -ga(i, j, k);
+  auto ra = ga, rb = gb;
+  ra.fill_halo_periodic();
+  rb.fill_halo_periodic();
+
+  CommWorld world(4);
+  world.run([&](Comm& comm) {
+    TileLayout layout(comm.rank(), 2, 2, nx, ny);
+    auto ta = extract_tile(ga, layout, 2);
+    auto tb = extract_tile(gb, layout, 2);
+    exchange_halo(comm, layout, ta, /*tag_base=*/0);
+    exchange_halo(comm, layout, tb, /*tag_base=*/1);
+    EXPECT_EQ(ta(-1, 0, 0), ra((layout.x0 + nx - 1) % nx, layout.y0, 0));
+    EXPECT_EQ(tb(-1, 0, 0), rb((layout.x0 + nx - 1) % nx, layout.y0, 0));
+  });
+}
+
+}  // namespace
+}  // namespace bda::hpc

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "hpc/scheduler.hpp"
+
+namespace bda::hpc {
+namespace {
+
+TEST(ForecastScheduler, PaperConfigurationNeverDrops) {
+  // 4 groups x 30-s stagger covers the 120-s runtime exactly: one product
+  // forecast per 30 s, as in the operational deployment.
+  ForecastScheduler sched({880, 4, 30.0, 120.0});
+  const auto jobs = sched.simulate(200);
+  for (const auto& j : jobs) EXPECT_FALSE(j.dropped);
+  // Completion exactly runtime after each admission.
+  for (std::size_t c = 0; c < jobs.size(); ++c) {
+    EXPECT_DOUBLE_EQ(jobs[c].t_init, 30.0 * double(c));
+    EXPECT_DOUBLE_EQ(jobs[c].t_done - jobs[c].t_start, 120.0);
+  }
+}
+
+TEST(ForecastScheduler, GroupsRotateRoundRobin) {
+  ForecastScheduler sched({880, 4, 30.0, 120.0});
+  const auto jobs = sched.simulate(12);
+  for (std::size_t c = 4; c < jobs.size(); ++c)
+    EXPECT_EQ(jobs[c].group, jobs[c - 4].group);
+}
+
+TEST(ForecastScheduler, UndersizedPoolDrops) {
+  // 2 groups cannot sustain a 120-s runtime every 30 s: half the cycles
+  // find no free group.
+  ForecastScheduler sched({880, 2, 30.0, 120.0});
+  const auto jobs = sched.simulate(100);
+  std::size_t dropped = 0;
+  for (const auto& j : jobs)
+    if (j.dropped) ++dropped;
+  EXPECT_GT(dropped, 40u);
+  EXPECT_LT(dropped, 60u);
+}
+
+TEST(ForecastScheduler, ShortRuntimeLeavesGroupsIdle) {
+  ForecastScheduler sched({880, 4, 30.0, 25.0});
+  const auto jobs = sched.simulate(50);
+  for (const auto& j : jobs) EXPECT_FALSE(j.dropped);
+  // Only one group ever busy at a time.
+  EXPECT_LE(sched.peak_nodes_used(), sched.nodes_per_group());
+}
+
+TEST(ForecastScheduler, PeakNodesBoundedByPool) {
+  ForecastScheduler sched({880, 4, 30.0, 119.0});
+  sched.simulate(100);
+  EXPECT_LE(sched.peak_nodes_used(), 880);
+  EXPECT_EQ(sched.nodes_per_group(), 220);
+}
+
+TEST(ForecastScheduler, VariableRuntimesHandled) {
+  // Rain-dependent runtimes: some cycles run long; the scheduler absorbs
+  // moderate excursions without dropping everything.
+  ForecastScheduler sched({880, 4, 30.0, 110.0});
+  std::vector<double> runtimes(60, 110.0);
+  for (std::size_t c = 20; c < 24; ++c) runtimes[c] = 125.0;  // heavy rain
+  const auto jobs = sched.simulate(60, &runtimes);
+  std::size_t dropped = 0;
+  for (const auto& j : jobs)
+    if (j.dropped) ++dropped;
+  EXPECT_LE(dropped, 4u);
+}
+
+TEST(ForecastScheduler, DroppedJobsHaveNoGroup) {
+  ForecastScheduler sched({880, 1, 30.0, 120.0});
+  const auto jobs = sched.simulate(10);
+  for (const auto& j : jobs)
+    if (j.dropped) {
+      EXPECT_EQ(j.group, -1);
+      EXPECT_DOUBLE_EQ(j.t_done, 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace bda::hpc

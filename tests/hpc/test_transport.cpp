@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "hpc/transport.hpp"
+
+namespace bda::hpc {
+namespace {
+
+std::vector<FieldRecord> member_fields(int member) {
+  Field3D<float> f(6, 6, 4, 0);
+  for (idx i = 0; i < 6; ++i)
+    for (idx j = 0; j < 6; ++j)
+      for (idx k = 0; k < 4; ++k)
+        f(i, j, k) = float(member * 1000 + i * 100 + j * 10 + k);
+  std::vector<FieldRecord> recs;
+  recs.push_back({"rhot", std::move(f)});
+  return recs;
+}
+
+class TransportCase
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<EnsembleTransport> make() {
+    if (std::string(GetParam()) == "file") {
+      dir_ = (std::filesystem::temp_directory_path() / "bda_transport_test")
+                 .string();
+      return std::make_unique<FileTransport>(dir_);
+    }
+    return std::make_unique<MemoryTransport>();
+  }
+  void TearDown() override {
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_P(TransportCase, PutTakeRoundtrip) {
+  auto tp = make();
+  const auto sent = member_fields(3);
+  const auto st = tp->put(3, sent);
+  EXPECT_GT(st.bytes, 0u);
+  TransportStats take_st;
+  const auto got = tp->take(3, &take_st);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].name, "rhot");
+  EXPECT_EQ(got[0].data(5, 5, 3), sent[0].data(5, 5, 3));
+  EXPECT_GT(take_st.bytes, 0u);
+}
+
+TEST_P(TransportCase, MembersAreIndependent) {
+  auto tp = make();
+  tp->put(0, member_fields(0));
+  tp->put(7, member_fields(7));
+  const auto got7 = tp->take(7, nullptr);
+  const auto got0 = tp->take(0, nullptr);
+  EXPECT_EQ(got7[0].data(0, 0, 0), 7000.0f);
+  EXPECT_EQ(got0[0].data(0, 0, 0), 0.0f);
+}
+
+TEST_P(TransportCase, TakeWithoutPutThrows) {
+  auto tp = make();
+  EXPECT_THROW(tp->take(4, nullptr), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, TransportCase,
+                         ::testing::Values("file", "memory"));
+
+TEST(MemoryTransport, FifoPerMember) {
+  MemoryTransport tp;
+  auto a = member_fields(1);
+  auto b = member_fields(1);
+  b[0].data(0, 0, 0) = -99.0f;
+  tp.put(1, a);
+  tp.put(1, b);
+  EXPECT_EQ(tp.take(1, nullptr)[0].data(0, 0, 0), 1000.0f);
+  EXPECT_EQ(tp.take(1, nullptr)[0].data(0, 0, 0), -99.0f);
+}
+
+TEST(FileTransport, FileIsConsumedOnTake) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "bda_ft_consume").string();
+  FileTransport tp(dir);
+  tp.put(2, member_fields(2));
+  tp.take(2, nullptr);
+  EXPECT_THROW(tp.take(2, nullptr), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Transports, NamesDistinguishPaths) {
+  MemoryTransport mem;
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "bda_ft_name").string();
+  FileTransport file(dir);
+  EXPECT_STREQ(mem.name(), "memory");
+  EXPECT_STREQ(file.name(), "file");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bda::hpc

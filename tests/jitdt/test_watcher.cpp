@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "jitdt/watcher.hpp"
+
+namespace bda::jitdt {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "bda_watch_test").string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_file(const std::string& name, std::size_t bytes) {
+    std::ofstream f(dir_ + "/" + name, std::ios::binary);
+    std::vector<char> data(bytes, 'x');
+    f.write(data.data(), static_cast<std::streamsize>(bytes));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WatcherTest, NewFileReportedAfterStability) {
+  DirectoryWatcher w(dir_, ".pwr");
+  write_file("scan1.pwr", 1024);
+  // First poll: file sighted, held pending (stability check).
+  EXPECT_TRUE(w.poll_once().empty());
+  // Second poll: size unchanged -> reported.
+  const auto ready = w.poll_once();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_NE(ready[0].find("scan1.pwr"), std::string::npos);
+}
+
+TEST_F(WatcherTest, FileReportedExactlyOnce) {
+  DirectoryWatcher w(dir_, ".pwr");
+  write_file("scan1.pwr", 100);
+  w.poll_once();
+  EXPECT_EQ(w.poll_once().size(), 1u);
+  EXPECT_TRUE(w.poll_once().empty());
+  EXPECT_TRUE(w.poll_once().empty());
+}
+
+TEST_F(WatcherTest, GrowingFileWaitsUntilStable) {
+  DirectoryWatcher w(dir_, ".pwr");
+  write_file("scan1.pwr", 100);
+  w.poll_once();            // pending at size 100
+  write_file("scan1.pwr", 500);  // still being written
+  EXPECT_TRUE(w.poll_once().empty());  // size changed: not ready
+  EXPECT_EQ(w.poll_once().size(), 1u); // stable at 500 now
+}
+
+TEST_F(WatcherTest, ExtensionFiltered) {
+  DirectoryWatcher w(dir_, ".pwr");
+  write_file("notes.txt", 10);
+  write_file("scan.pwr", 10);
+  w.poll_once();
+  const auto ready = w.poll_once();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_NE(ready[0].find("scan.pwr"), std::string::npos);
+}
+
+TEST_F(WatcherTest, MultipleFilesAllReported) {
+  DirectoryWatcher w(dir_, ".pwr");
+  write_file("a.pwr", 10);
+  write_file("b.pwr", 20);
+  write_file("c.pwr", 30);
+  w.poll_once();
+  EXPECT_EQ(w.poll_once().size(), 3u);
+}
+
+TEST_F(WatcherTest, MissingDirectoryIsEmptyNotError) {
+  DirectoryWatcher w(dir_ + "/does_not_exist", ".pwr");
+  EXPECT_TRUE(w.poll_once().empty());
+}
+
+TEST_F(WatcherTest, BackgroundThreadInvokesCallback) {
+  DirectoryWatcher w(dir_, ".pwr", 0.01);
+  std::atomic<int> count{0};
+  w.start([&](const std::string&) { count.fetch_add(1); });
+  write_file("scan9.pwr", 64);
+  // Wait up to 2 s for the two-poll stability window.
+  for (int n = 0; n < 200 && count.load() == 0; ++n)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  w.stop();
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace bda::jitdt

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "letkf/adaptive_inflation.hpp"
+
+namespace bda::letkf {
+namespace {
+
+InnovationMoments moments(double d2, double r, double hpbh,
+                          std::size_t n = 100) {
+  InnovationMoments m;
+  m.mean_innov2 = d2;
+  m.mean_obs_var = r;
+  m.mean_ens_var = hpbh;
+  m.n_obs = n;
+  return m;
+}
+
+TEST(AdaptiveInflation, ConsistentStatisticsGiveUnity) {
+  // E[d^2] = HPbH + R exactly -> alpha = 1.
+  EXPECT_DOUBLE_EQ(AdaptiveInflation::estimate(moments(3.0, 1.0, 2.0)), 1.0);
+}
+
+TEST(AdaptiveInflation, UnderdispersionInflates) {
+  // Innovations larger than the budget -> alpha > 1.
+  EXPECT_GT(AdaptiveInflation::estimate(moments(6.0, 1.0, 2.0)), 2.0);
+}
+
+TEST(AdaptiveInflation, OverdispersionDeflates) {
+  EXPECT_LT(AdaptiveInflation::estimate(moments(2.0, 1.0, 2.0)), 1.0);
+}
+
+TEST(AdaptiveInflation, EmptyOrDegenerateSampleIsNeutral) {
+  EXPECT_DOUBLE_EQ(AdaptiveInflation::estimate(moments(5.0, 1.0, 2.0, 0)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(AdaptiveInflation::estimate(moments(5.0, 1.0, 0.0)), 1.0);
+}
+
+TEST(AdaptiveInflation, SmoothingDampsSingleCycleJumps) {
+  AdaptiveInflation infl(1.0f, 0.3f);
+  infl.update(moments(9.0, 1.0, 2.0));  // instantaneous alpha = 4
+  // One update moves 30% of the way: 0.7*1 + 0.3*4 = 1.9, far below 4.
+  EXPECT_FLOAT_EQ(infl.rho(), 1.9f);
+}
+
+TEST(AdaptiveInflation, ConvergesUnderRepeatedEvidence) {
+  AdaptiveInflation infl(1.0f, 0.3f, 0.9f, 3.0f);
+  for (int c = 0; c < 50; ++c) infl.update(moments(5.0, 1.0, 2.0));
+  // alpha = (5-1)/2 = 2: the smoothed value approaches it.
+  EXPECT_NEAR(infl.rho(), 2.0f, 0.05f);
+}
+
+TEST(AdaptiveInflation, ClampsToConfiguredRange) {
+  AdaptiveInflation infl(1.0f, 1.0f, 0.9f, 3.0f);
+  infl.update(moments(100.0, 1.0, 1.0));  // alpha = 99
+  EXPECT_FLOAT_EQ(infl.rho(), 3.0f);
+  infl.update(moments(0.1, 1.0, 10.0));   // alpha < 0
+  EXPECT_FLOAT_EQ(infl.rho(), 0.9f);
+}
+
+}  // namespace
+}  // namespace bda::letkf

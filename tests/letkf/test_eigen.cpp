@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "letkf/eigen.hpp"
+#include "util/rng.hpp"
+
+namespace bda::letkf {
+namespace {
+
+// Verify A = V diag(w) V^T and V^T V = I for a solved system.
+template <typename T>
+void check_decomposition(std::size_t n, const std::vector<T>& a_orig,
+                         const std::vector<T>& v, const std::vector<T>& w,
+                         double tol) {
+  // Orthonormality.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      double dot = 0;
+      for (std::size_t k = 0; k < n; ++k)
+        dot += double(v[k * n + i]) * double(v[k * n + j]);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, tol) << "ortho " << i << "," << j;
+    }
+  // Reconstruction.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0;
+      for (std::size_t k = 0; k < n; ++k)
+        s += double(v[i * n + k]) * double(w[k]) * double(v[j * n + k]);
+      EXPECT_NEAR(s, double(a_orig[i * n + j]), tol) << i << "," << j;
+    }
+}
+
+TEST(SymEigen, DiagonalMatrix) {
+  std::vector<double> a = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  auto v = a;
+  std::vector<double> w(3);
+  ASSERT_TRUE(sym_eigen<double>(3, v.data(), w.data()));
+  EXPECT_NEAR(w[0], 1.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0, 1e-12);
+  EXPECT_NEAR(w[2], 3.0, 1e-12);
+  check_decomposition(3, a, v, w, 1e-10);
+}
+
+TEST(SymEigen, Known2x2) {
+  // [[2,1],[1,2]] -> eigenvalues 1 and 3.
+  std::vector<float> a = {2, 1, 1, 2};
+  auto v = a;
+  std::vector<float> w(2);
+  ASSERT_TRUE(sym_eigen<float>(2, v.data(), w.data()));
+  EXPECT_NEAR(w[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(w[1], 3.0f, 1e-5f);
+  check_decomposition<float>(2, a, v, w, 1e-4);
+}
+
+TEST(SymEigen, OneByOne) {
+  std::vector<double> a = {7.5};
+  std::vector<double> w(1);
+  ASSERT_TRUE(sym_eigen<double>(1, a.data(), w.data()));
+  EXPECT_DOUBLE_EQ(w[0], 7.5);
+  EXPECT_NEAR(std::abs(a[0]), 1.0, 1e-12);
+}
+
+TEST(SymEigen, EigenvaluesAscending) {
+  Rng rng(7);
+  const std::size_t n = 24;
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double x = rng.normal();
+      a[i * n + j] = x;
+      a[j * n + i] = x;
+    }
+  std::vector<double> w(n);
+  ASSERT_TRUE(sym_eigen<double>(n, a.data(), w.data()));
+  for (std::size_t i = 1; i < n; ++i) EXPECT_LE(w[i - 1], w[i]);
+}
+
+class SymEigenSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SymEigenSizes, RandomSymmetricDouble) {
+  const std::size_t n = GetParam();
+  Rng rng(100 + n);
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double x = rng.normal();
+      a[i * n + j] = x;
+      a[j * n + i] = x;
+    }
+  auto v = a;
+  std::vector<double> w(n);
+  ASSERT_TRUE(sym_eigen<double>(n, v.data(), w.data()));
+  check_decomposition(n, a, v, w, 1e-8 * double(n));
+}
+
+TEST_P(SymEigenSizes, SpdLetkfShapeFloat) {
+  // The LETKF matrix: (k-1)I + Y^T R^-1 Y, SPD with eigenvalues >= k-1.
+  const std::size_t k = GetParam();
+  const std::size_t p = 2 * k;
+  Rng rng(200 + k);
+  std::vector<float> y(p * k);
+  for (auto& x : y) x = float(rng.normal());
+  std::vector<float> a(k * k, 0.0f);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < k; ++j) {
+      float s = (i == j) ? float(k - 1) : 0.0f;
+      for (std::size_t n = 0; n < p; ++n) s += y[n * k + i] * y[n * k + j];
+      a[i * k + j] = s;
+    }
+  auto v = a;
+  std::vector<float> w(k);
+  ASSERT_TRUE(sym_eigen<float>(k, v.data(), w.data()));
+  for (std::size_t i = 0; i < k; ++i)
+    EXPECT_GT(w[i], 0.5f * float(k - 1));  // SPD, bounded below
+  check_decomposition<float>(k, a, v, w,
+                             2e-2 * double(k));  // float tolerance
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymEigenSizes,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64));
+
+TEST(BatchedSymEigen, MatchesOneShotSolver) {
+  const std::size_t n = 16;
+  Rng rng(55);
+  BatchedSymEigen<double> batched(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a(n * n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double x = rng.normal();
+        a[i * n + j] = x;
+        a[j * n + i] = x;
+      }
+    auto v1 = a, v2 = a;
+    std::vector<double> w1(n), w2(n);
+    ASSERT_TRUE(sym_eigen<double>(n, v1.data(), w1.data()));
+    ASSERT_TRUE(batched.solve(v2.data(), w2.data()));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(w1[i], w2[i], 1e-10);
+  }
+}
+
+TEST(BatchedSymEigen, WorkspaceReuseDoesNotLeakState) {
+  // Solving problem B after problem A gives the same result as solving B
+  // fresh.
+  const std::size_t n = 8;
+  Rng rng(66);
+  auto make = [&](std::uint64_t seed) {
+    Rng r(seed);
+    std::vector<float> a(n * n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j <= i; ++j) {
+        const float x = float(r.normal());
+        a[i * n + j] = x;
+        a[j * n + i] = x;
+      }
+    return a;
+  };
+  BatchedSymEigen<float> solver(n);
+  auto a1 = make(1), b_after = make(2), b_fresh = make(2);
+  std::vector<float> w(n), w_after(n), w_fresh(n);
+  solver.solve(a1.data(), w.data());
+  solver.solve(b_after.data(), w_after.data());
+  BatchedSymEigen<float> fresh(n);
+  fresh.solve(b_fresh.data(), w_fresh.data());
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_FLOAT_EQ(w_after[i], w_fresh[i]);
+}
+
+TEST(SymEigen, RepeatedEigenvaluesHandled) {
+  // Identity: all eigenvalues 1, any orthonormal V works.
+  const std::size_t n = 6;
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] = 1.0;
+  auto v = a;
+  std::vector<double> w(n);
+  ASSERT_TRUE(sym_eigen<double>(n, v.data(), w.data()));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(w[i], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bda::letkf

@@ -1,0 +1,161 @@
+// Parameterized LETKF property sweeps: the Kalman-filter equivalence and
+// spread behaviour must hold across ensemble sizes and observation loads,
+// not just at the sizes the other tests pick.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "letkf/letkf_core.hpp"
+#include "letkf/localization.hpp"
+#include "util/rng.hpp"
+
+namespace bda::letkf {
+namespace {
+
+std::vector<double> exact_ensemble(std::size_t k, double mean, double sd,
+                                   Rng& rng) {
+  std::vector<double> z(k);
+  double zm = 0;
+  for (auto& v : z) {
+    v = rng.normal();
+    zm += v;
+  }
+  zm /= double(k);
+  double s2 = 0;
+  for (auto& v : z) {
+    v -= zm;
+    s2 += v * v;
+  }
+  const double scale = sd / std::sqrt(s2 / double(k - 1));
+  std::vector<double> x(k);
+  for (std::size_t m = 0; m < k; ++m) x[m] = mean + scale * z[m];
+  return x;
+}
+
+struct Moments {
+  double mean, var;
+};
+Moments moments(const std::vector<double>& x) {
+  double m = 0;
+  for (double v : x) m += v;
+  m /= double(x.size());
+  double s2 = 0;
+  for (double v : x) s2 += (v - m) * (v - m);
+  return {m, s2 / double(x.size() - 1)};
+}
+
+std::vector<double> apply_weights(const std::vector<double>& xb,
+                                  const std::vector<double>& W) {
+  const std::size_t k = xb.size();
+  const auto mb = moments(xb);
+  std::vector<double> xa(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    double s = mb.mean;
+    for (std::size_t l = 0; l < k; ++l)
+      s += (xb[l] - mb.mean) * W[l * k + m];
+    xa[m] = s;
+  }
+  return xa;
+}
+
+class KfEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KfEquivalence, ScalarAnalysisMatchesKalmanAtAnyEnsembleSize) {
+  const std::size_t k = GetParam();
+  Rng rng(1000 + k);
+  const double xb_mean = 1.0, xb_sd = 1.7, yo = 4.0, r_sd = 1.3;
+  const auto xb = exact_ensemble(k, xb_mean, xb_sd, rng);
+  const auto mb = moments(xb);
+  std::vector<double> Y(k), d = {yo - mb.mean},
+                      rinv = {1.0 / (r_sd * r_sd)};
+  for (std::size_t m = 0; m < k; ++m) Y[m] = xb[m] - mb.mean;
+  LetkfWorkspace<double> ws(k);
+  std::vector<double> W(k * k);
+  ASSERT_TRUE(letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(),
+                                    0.0, 1.0, ws, W.data()));
+  const auto ma = moments(apply_weights(xb, W));
+  const double g = xb_sd * xb_sd / (xb_sd * xb_sd + r_sd * r_sd);
+  EXPECT_NEAR(ma.mean, xb_mean + g * (yo - xb_mean), 1e-6) << "k=" << k;
+  EXPECT_NEAR(ma.var, (1.0 - g) * xb_sd * xb_sd, 1e-5) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(EnsembleSizes, KfEquivalence,
+                         ::testing::Values(5, 10, 20, 50, 100, 200));
+
+class ObsLoad : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ObsLoad, VarianceFallsMonotonicallyWithObsCount) {
+  // p identical independent obs of the same quantity = one obs with R/p:
+  // the analysis variance must match the closed form at every p.
+  const std::size_t p = GetParam();
+  const std::size_t k = 60;
+  Rng rng(7);
+  const auto xb = exact_ensemble(k, 0.0, 1.0, rng);
+  const auto mb = moments(xb);
+  std::vector<double> Y(p * k), d(p, 1.0), rinv(p, 1.0);
+  for (std::size_t n = 0; n < p; ++n)
+    for (std::size_t m = 0; m < k; ++m) Y[n * k + m] = xb[m] - mb.mean;
+  LetkfWorkspace<double> ws(k);
+  std::vector<double> W(k * k);
+  ASSERT_TRUE(letkf_weights<double>(k, p, Y.data(), d.data(), rinv.data(),
+                                    0.0, 1.0, ws, W.data()));
+  const auto ma = moments(apply_weights(xb, W));
+  EXPECT_NEAR(ma.var, 1.0 / (1.0 + double(p)), 1e-6) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(ObsCounts, ObsLoad,
+                         ::testing::Values(1, 2, 4, 8, 16, 64));
+
+class RtppSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RtppSweep, SpreadInterpolatesBetweenAnalysisAndPrior) {
+  const double alpha = GetParam();
+  const std::size_t k = 80;
+  Rng rng(9);
+  const auto xb = exact_ensemble(k, 0.0, 1.0, rng);
+  const auto mb = moments(xb);
+  std::vector<double> Y(k), d = {1.0}, rinv = {4.0};
+  for (std::size_t m = 0; m < k; ++m) Y[m] = xb[m] - mb.mean;
+  LetkfWorkspace<double> ws(k);
+  std::vector<double> W(k * k);
+  ASSERT_TRUE(letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(),
+                                    alpha, 1.0, ws, W.data()));
+  const double var_a = moments(apply_weights(xb, W)).var;
+  // Pure analysis sd: sqrt(1/(1+4)); RTPP blends standard deviations:
+  // sd = alpha*sd_b + (1-alpha)*sd_a.
+  const double sd_expected =
+      alpha * 1.0 + (1.0 - alpha) * std::sqrt(1.0 / 5.0);
+  EXPECT_NEAR(std::sqrt(var_a), sd_expected, 1e-6) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, RtppSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 0.95, 1.0));
+
+TEST(LocalizationWeighting, IncrementShrinksMonotonicallyWithDistance) {
+  // The same obs at growing GC distance must pull the state monotonically
+  // less (R-localization divides rinv by the GC weight).
+  const std::size_t k = 40;
+  Rng rng(11);
+  const auto xb = exact_ensemble(k, 0.0, 1.0, rng);
+  const auto mb = moments(xb);
+  std::vector<double> Y(k);
+  for (std::size_t m = 0; m < k; ++m) Y[m] = xb[m] - mb.mean;
+  std::vector<double> d = {2.0};
+  LetkfWorkspace<double> ws(k);
+  std::vector<double> W(k * k);
+  double prev_incr = 1e9;
+  for (real r : {0.0f, 0.5f, 1.0f, 1.5f, 1.9f}) {
+    std::vector<double> rinv = {double(gaspari_cohn(r)) / 1.0};
+    ASSERT_TRUE(letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(),
+                                      0.0, 1.0, ws, W.data()));
+    const double incr = moments(apply_weights(xb, W)).mean;
+    EXPECT_GE(incr, 0.0);
+    EXPECT_LE(incr, prev_incr + 1e-12) << "r=" << r;
+    prev_incr = incr;
+  }
+  EXPECT_LT(prev_incr, 0.05);  // nearly no pull at the support edge
+}
+
+}  // namespace
+}  // namespace bda::letkf

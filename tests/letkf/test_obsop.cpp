@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "letkf/obsop.hpp"
+#include "scale/reference.hpp"
+
+namespace bda::letkf {
+namespace {
+
+using scale::Grid;
+using scale::State;
+
+Grid ogrid() { return Grid(10, 10, 10, 500.0f, 10000.0f); }
+
+State calm_state(const Grid& g) {
+  const auto ref = scale::ReferenceState::build(g, scale::stable_sounding());
+  State s(g);
+  s.init_from_reference(g, ref);
+  return s;
+}
+
+TEST(ObsOperator, LocateFindsEnclosingCell) {
+  Grid g = ogrid();
+  ObsOperator op(g, 0, 0, 0);
+  idx i, j, k;
+  op.locate(260.0f, 1499.0f, 1500.0f, i, j, k);
+  EXPECT_EQ(i, 0);
+  EXPECT_EQ(j, 2);
+  EXPECT_EQ(k, 1);  // level 1 spans 1000-2000 m
+  // Clamped outside the domain.
+  op.locate(-100.0f, 99999.0f, 50000.0f, i, j, k);
+  EXPECT_EQ(i, 0);
+  EXPECT_EQ(j, 9);
+  EXPECT_EQ(k, 9);
+}
+
+TEST(ObsOperator, ReflectivityReflectsHydrometeors) {
+  Grid g = ogrid();
+  State s = calm_state(g);
+  ObsOperator op(g, 0, 0, 0);
+  Observation ob{ObsType::kReflectivity, 2250.0f, 2250.0f, 2500.0f, 0, 5.0f};
+  EXPECT_LE(op.apply(s, ob), -19.0f);  // clear air
+  idx i, j, k;
+  op.locate(ob.x, ob.y, ob.z, i, j, k);
+  s.rhoq[scale::QR](i, j, k) = s.dens(i, j, k) * 3e-3f;
+  EXPECT_GT(op.apply(s, ob), 30.0f);   // heavy rain cell
+}
+
+TEST(ObsOperator, DopplerProjectsWindOnBeam) {
+  Grid g = ogrid();
+  State s = calm_state(g);
+  // Uniform 10 m/s eastward wind.
+  for (idx i = -Grid::kHalo; i < s.nx + Grid::kHalo; ++i)
+    for (idx j = -Grid::kHalo; j < s.ny + Grid::kHalo; ++j)
+      for (idx k = 0; k < s.nz; ++k)
+        s.momx(i, j, k) = s.dens(i, j, k) * 10.0f;
+  ObsOperator op(g, 2500.0f, 2500.0f, 0.0f);
+  // Obs due east of the radar at the same height: radial = +u.
+  Observation east{ObsType::kDopplerVelocity, 4750.0f, 2500.0f, 250.0f, 0,
+                   3.0f};
+  EXPECT_NEAR(op.apply(s, east), 10.0f, 0.5f);
+  // Due north: no projection of u.
+  Observation north{ObsType::kDopplerVelocity, 2500.0f, 4750.0f, 250.0f, 0,
+                    3.0f};
+  EXPECT_NEAR(op.apply(s, north), 0.0f, 0.5f);
+  // Due west: -u.
+  Observation west{ObsType::kDopplerVelocity, 250.0f, 2500.0f, 250.0f, 0,
+                   3.0f};
+  EXPECT_NEAR(op.apply(s, west), -10.0f, 0.5f);
+}
+
+TEST(ObsOperator, DopplerSeesFallSpeedAloft) {
+  Grid g = ogrid();
+  State s = calm_state(g);
+  ObsOperator op(g, 2500.0f, 2500.0f, 0.0f);
+  // Observation high above the radar: beam is nearly vertical, so the
+  // Doppler velocity of still air with falling rain is negative (toward
+  // the radar from above = downward motion).
+  Observation above{ObsType::kDopplerVelocity, 2550.0f, 2550.0f, 8500.0f, 0,
+                    3.0f};
+  EXPECT_NEAR(op.apply(s, above), 0.0f, 1e-3f);
+  idx i, j, k;
+  op.locate(above.x, above.y, above.z, i, j, k);
+  s.rhoq[scale::QR](i, j, k) = s.dens(i, j, k) * 3e-3f;
+  EXPECT_LT(op.apply(s, above), -2.0f);
+}
+
+TEST(ObsOperator, ObservationOwnOriginOverridesOperatorSite) {
+  // Multi-radar: an obs carrying its own beam origin must be projected
+  // from that site, not the operator's default.
+  Grid g = ogrid();
+  State s = calm_state(g);
+  for (idx i = -Grid::kHalo; i < s.nx + Grid::kHalo; ++i)
+    for (idx j = -Grid::kHalo; j < s.ny + Grid::kHalo; ++j)
+      for (idx k = 0; k < s.nz; ++k)
+        s.momx(i, j, k) = s.dens(i, j, k) * 10.0f;  // eastward wind
+  // Operator's default radar is WEST of the obs; the obs' own radar is
+  // EAST of it: opposite radial signs.
+  ObsOperator op(g, 1000.0f, 2500.0f, 50.0f);
+  Observation from_default{ObsType::kDopplerVelocity, 2500.0f, 2500.0f,
+                           250.0f, 0, 3.0f};
+  EXPECT_GT(op.apply(s, from_default), 8.0f);  // moving away from west site
+  Observation from_east = from_default;
+  from_east.rx = 4500.0f;
+  from_east.ry = 2500.0f;
+  from_east.rz = 50.0f;
+  from_east.own_origin = true;
+  EXPECT_LT(op.apply(s, from_east), -8.0f);    // moving toward east site
+}
+
+TEST(ObsOperator, DopplerAtRadarSiteIsZero) {
+  Grid g = ogrid();
+  State s = calm_state(g);
+  ObsOperator op(g, 2500.0f, 2500.0f, 100.0f);
+  Observation self{ObsType::kDopplerVelocity, 2500.0f, 2500.0f, 100.0f, 0,
+                   3.0f};
+  EXPECT_EQ(op.apply(s, self), 0.0f);
+}
+
+}  // namespace
+}  // namespace bda::letkf

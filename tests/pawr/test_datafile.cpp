@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pawr/datafile.hpp"
+#include "util/rng.hpp"
+
+namespace bda::pawr {
+namespace {
+
+VolumeScan sample_scan() {
+  ScanConfig c;
+  c.range_max = 4000.0f;
+  c.gate_length = 500.0f;
+  c.n_azimuth = 12;
+  c.n_elevation = 6;
+  VolumeScan vs(c);
+  vs.t_obs = 1627586850.0;  // 19:27:30 UTC, July 29, 2021
+  Rng rng(3);
+  for (std::size_t n = 0; n < vs.n_samples(); ++n) {
+    vs.reflectivity[n] = float(rng.uniform(-20, 60));
+    vs.doppler[n] = float(rng.uniform(-30, 30));
+    vs.flag[n] = std::uint8_t(rng.uniform_int(4));
+  }
+  return vs;
+}
+
+TEST(ScanFile, EncodeDecodeRoundtrip) {
+  const VolumeScan vs = sample_scan();
+  const auto buf = encode_scan(vs);
+  const VolumeScan back = decode_scan(buf);
+  EXPECT_DOUBLE_EQ(back.t_obs, vs.t_obs);
+  EXPECT_EQ(back.cfg.n_azimuth, vs.cfg.n_azimuth);
+  EXPECT_EQ(back.cfg.n_elevation, vs.cfg.n_elevation);
+  EXPECT_FLOAT_EQ(back.cfg.gate_length, vs.cfg.gate_length);
+  ASSERT_EQ(back.n_samples(), vs.n_samples());
+  for (std::size_t n = 0; n < vs.n_samples(); ++n) {
+    EXPECT_EQ(back.reflectivity[n], vs.reflectivity[n]);
+    EXPECT_EQ(back.doppler[n], vs.doppler[n]);
+    EXPECT_EQ(back.flag[n], vs.flag[n]);
+  }
+}
+
+TEST(ScanFile, CorruptionRejected) {
+  auto buf = encode_scan(sample_scan());
+  buf[buf.size() / 3] ^= 0x40;
+  EXPECT_THROW(decode_scan(buf), std::runtime_error);
+}
+
+TEST(ScanFile, TruncationRejected) {
+  auto buf = encode_scan(sample_scan());
+  buf.resize(buf.size() / 2);
+  EXPECT_THROW(decode_scan(buf), std::runtime_error);
+}
+
+TEST(ScanFile, BadMagicRejected) {
+  auto buf = encode_scan(sample_scan());
+  buf[1] = 'X';
+  EXPECT_THROW(decode_scan(buf), std::runtime_error);
+}
+
+TEST(ScanFile, FileRoundtrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "bda_scan_test.pwr").string();
+  const VolumeScan vs = sample_scan();
+  write_scan(path, vs);
+  const VolumeScan back = read_scan(path);
+  EXPECT_EQ(back.n_samples(), vs.n_samples());
+  EXPECT_EQ(back.reflectivity[7], vs.reflectivity[7]);
+  std::filesystem::remove(path);
+}
+
+TEST(ScanFile, MissingFileThrows) {
+  EXPECT_THROW(read_scan("/no/such/scan.pwr"), std::runtime_error);
+}
+
+TEST(ScanFile, SizeIsHeaderPlusPayloadPlusCrc) {
+  const VolumeScan vs = sample_scan();
+  const auto buf = encode_scan(vs);
+  // magic 4 + t_obs 8 + range 4 + gate 4 + naz 4 + nel 4 + elevmax 4 +
+  // period 8 = 40 header bytes, + payload + 4 CRC.
+  EXPECT_EQ(buf.size(), 40 + vs.payload_bytes() + 4);
+}
+
+}  // namespace
+}  // namespace bda::pawr

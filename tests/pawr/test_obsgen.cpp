@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pawr/forward.hpp"
+#include "pawr/obsgen.hpp"
+#include "scale/reference.hpp"
+
+namespace bda::pawr {
+namespace {
+
+using scale::Grid;
+using scale::State;
+
+Grid ggrid() { return Grid(20, 20, 10, 500.0f, 10000.0f); }
+
+ScanConfig dense_scan() {
+  ScanConfig c;
+  c.range_max = 9000.0f;
+  c.gate_length = 250.0f;
+  c.n_azimuth = 72;
+  c.n_elevation = 24;
+  return c;
+}
+
+TEST(ObsGen, RainColumnProducesReflectivityAndDopplerObs) {
+  Grid g = ggrid();
+  const auto ref =
+      scale::ReferenceState::build(g, scale::convective_sounding());
+  State s(g);
+  s.init_from_reference(g, ref);
+  for (idx k = 2; k <= 5; ++k)
+    s.rhoq[scale::QR](14, 10, k) = s.dens(14, 10, k) * 4e-3f;
+
+  RadarSimConfig rc;
+  rc.radar_x = 5000.0f;
+  rc.radar_y = 5000.0f;
+  rc.noise_refl = 0.5f;
+  rc.noise_dopp = 0.2f;
+  rc.block_az_from = rc.block_az_to = 0.0f;
+  RadarSimulator sim(g, dense_scan(), rc);
+  Rng rng(9);
+  const VolumeScan vs = sim.observe(s, 0.0, rng);
+
+  ObsGenConfig oc;
+  oc.clear_air = false;
+  const auto obs = regrid_scan(vs, g, rc.radar_x, rc.radar_y, rc.radar_z, oc);
+  ASSERT_FALSE(obs.empty());
+
+  // Table 2 errors attached.
+  std::size_t n_refl = 0, n_dopp = 0;
+  bool found_rain_cell = false;
+  for (const auto& o : obs) {
+    if (o.type == letkf::ObsType::kReflectivity) {
+      ++n_refl;
+      EXPECT_FLOAT_EQ(o.error, 5.0f);
+      // Rain obs should sit near the column (x ~ 7250, y ~ 5250).
+      if (std::abs(o.x - 7250.0f) < 600.0f &&
+          std::abs(o.y - 5250.0f) < 600.0f && o.value > 30.0f)
+        found_rain_cell = true;
+    } else {
+      ++n_dopp;
+      EXPECT_FLOAT_EQ(o.error, 3.0f);
+    }
+  }
+  EXPECT_GT(n_refl, 0u);
+  EXPECT_GT(n_dopp, 0u);
+  EXPECT_TRUE(found_rain_cell);
+}
+
+TEST(ObsGen, ClearAirObsAreThinned) {
+  Grid g = ggrid();
+  const auto ref = scale::ReferenceState::build(g, scale::stable_sounding());
+  State s(g);
+  s.init_from_reference(g, ref);
+  RadarSimConfig rc;
+  rc.radar_x = 5000.0f;
+  rc.radar_y = 5000.0f;
+  rc.noise_refl = 0.0f;
+  rc.noise_dopp = 0.0f;
+  rc.block_az_from = rc.block_az_to = 0.0f;
+  RadarSimulator sim(g, dense_scan(), rc);
+  Rng rng(10);
+  const VolumeScan vs = sim.observe(s, 0.0, rng);
+
+  ObsGenConfig with, without;
+  with.clear_air = true;
+  with.clear_air_thin = 4;
+  without.clear_air = false;
+  const auto obs_with =
+      regrid_scan(vs, g, rc.radar_x, rc.radar_y, rc.radar_z, with);
+  const auto obs_without =
+      regrid_scan(vs, g, rc.radar_x, rc.radar_y, rc.radar_z, without);
+  EXPECT_TRUE(obs_without.empty());  // no rain anywhere
+  EXPECT_FALSE(obs_with.empty());
+  // Thinning: clear-air obs only on the i%4==0, j%4==0 checkerboard.
+  for (const auto& o : obs_with) {
+    const idx i = static_cast<idx>(o.x / g.dx());
+    const idx j = static_cast<idx>(o.y / g.dx());
+    EXPECT_EQ(i % 4, 0) << o.x;
+    EXPECT_EQ(j % 4, 0) << o.y;
+  }
+}
+
+TEST(ObsGen, HeightRangeFilterApplies) {
+  Grid g = ggrid();
+  const auto ref =
+      scale::ReferenceState::build(g, scale::convective_sounding());
+  State s(g);
+  s.init_from_reference(g, ref);
+  for (idx k = 0; k < 10; ++k)
+    s.rhoq[scale::QR](14, 10, k) = s.dens(14, 10, k) * 4e-3f;
+  RadarSimConfig rc;
+  rc.radar_x = 5000.0f;
+  rc.radar_y = 5000.0f;
+  rc.block_az_from = rc.block_az_to = 0.0f;
+  RadarSimulator sim(g, dense_scan(), rc);
+  Rng rng(11);
+  const VolumeScan vs = sim.observe(s, 0.0, rng);
+  ObsGenConfig oc;
+  oc.z_min = 1000.0f;
+  oc.z_max = 5000.0f;
+  oc.clear_air = false;
+  const auto obs = regrid_scan(vs, g, rc.radar_x, rc.radar_y, rc.radar_z, oc);
+  for (const auto& o : obs) {
+    EXPECT_GE(o.z, 900.0f);
+    EXPECT_LE(o.z, 5100.0f);
+  }
+}
+
+TEST(ObsGen, InvalidSamplesExcluded) {
+  Grid g = ggrid();
+  ScanConfig sc = dense_scan();
+  VolumeScan vs(sc);
+  vs.reflectivity.assign(vs.n_samples(), 50.0f);  // all heavy rain...
+  vs.flag.assign(vs.n_samples(), kBeamBlocked);   // ...but all blocked
+  const auto obs = regrid_scan(vs, g, 5000.0f, 5000.0f, 50.0f, {});
+  EXPECT_TRUE(obs.empty());
+}
+
+TEST(ObsGen, CoverageCountsFlags) {
+  ScanConfig sc;
+  sc.range_max = 1000.0f;
+  sc.gate_length = 500.0f;
+  sc.n_azimuth = 2;
+  sc.n_elevation = 1;
+  VolumeScan vs(sc);  // 4 samples
+  vs.flag[0] = kValid;
+  vs.flag[1] = kOutOfDomain;
+  vs.flag[2] = kBeamBlocked;
+  vs.flag[3] = kClutter;
+  const auto cov = scan_coverage(vs);
+  EXPECT_EQ(cov.valid, 1u);
+  EXPECT_EQ(cov.out_of_domain, 1u);
+  EXPECT_EQ(cov.blocked, 1u);
+  EXPECT_EQ(cov.clutter, 1u);
+}
+
+}  // namespace
+}  // namespace bda::pawr

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pawr/scan.hpp"
+
+namespace bda::pawr {
+namespace {
+
+TEST(ScanConfig, SampleCountConsistent) {
+  ScanConfig c;
+  c.range_max = 10000.0f;
+  c.gate_length = 500.0f;
+  c.n_azimuth = 8;
+  c.n_elevation = 4;
+  EXPECT_EQ(c.n_gate(), 20);
+  EXPECT_EQ(c.n_samples(), std::size_t(4 * 8 * 20));
+}
+
+TEST(ScanConfig, PaperScaleIsAbout100MB) {
+  // The paper moves ~100 MB per 30-s scan through JIT-DT.
+  const ScanConfig c = ScanConfig::paper_scale();
+  VolumeScan vs(c);
+  const double mb = double(vs.payload_bytes()) / 1.0e6;
+  EXPECT_GT(mb, 80.0);
+  EXPECT_LT(mb, 120.0);
+  EXPECT_DOUBLE_EQ(c.period_s, 30.0);
+  EXPECT_FLOAT_EQ(c.range_max, 60000.0f);
+}
+
+TEST(VolumeScan, InitializedToClearAirAndValid) {
+  ScanConfig c;
+  c.n_azimuth = 4;
+  c.n_elevation = 2;
+  c.range_max = 2000.0f;
+  c.gate_length = 500.0f;
+  VolumeScan vs(c);
+  for (std::size_t n = 0; n < vs.n_samples(); ++n) {
+    EXPECT_FLOAT_EQ(vs.reflectivity[n], -20.0f);
+    EXPECT_FLOAT_EQ(vs.doppler[n], 0.0f);
+    EXPECT_EQ(vs.flag[n], kValid);
+  }
+}
+
+TEST(VolumeScan, IndexIsBijective) {
+  ScanConfig c;
+  c.n_azimuth = 5;
+  c.n_elevation = 3;
+  c.range_max = 3500.0f;
+  c.gate_length = 500.0f;
+  VolumeScan vs(c);
+  std::vector<bool> hit(vs.n_samples(), false);
+  for (int e = 0; e < c.n_elevation; ++e)
+    for (int a = 0; a < c.n_azimuth; ++a)
+      for (int g = 0; g < c.n_gate(); ++g) {
+        const auto n = vs.index(e, a, g);
+        ASSERT_LT(n, hit.size());
+        EXPECT_FALSE(hit[n]);
+        hit[n] = true;
+      }
+}
+
+TEST(VolumeScan, SamplePositionsFollowBeamGeometry) {
+  ScanConfig c;
+  c.n_azimuth = 4;       // 0, 90, 180, 270 degrees
+  c.n_elevation = 10;
+  c.elev_max_deg = 90.0f;
+  c.range_max = 10000.0f;
+  c.gate_length = 1000.0f;
+  VolumeScan vs(c);
+  real dx, dy, dz;
+  // Azimuth 0 = north (+y), elevation 0 = horizontal.
+  vs.sample_position(0, 0, 4, dx, dy, dz);
+  EXPECT_NEAR(dx, 0.0f, 1.0f);
+  EXPECT_NEAR(dy, 4500.0f, 1.0f);
+  EXPECT_NEAR(dz, 0.0f, 1.0f);
+  // Azimuth index 1 = east (+x).
+  vs.sample_position(0, 1, 4, dx, dy, dz);
+  EXPECT_NEAR(dx, 4500.0f, 1.0f);
+  EXPECT_NEAR(dy, 0.0f, 1.0f);
+  // Range increases with gate index.
+  real dx2, dy2, dz2;
+  vs.sample_position(0, 1, 8, dx2, dy2, dz2);
+  EXPECT_GT(dx2, dx);
+  // Higher elevation tilts the beam up.
+  vs.sample_position(5, 1, 4, dx2, dy2, dz2);
+  EXPECT_GT(dz2, 100.0f);
+  const real r = std::sqrt(dx2 * dx2 + dy2 * dy2 + dz2 * dz2);
+  EXPECT_NEAR(r, 4500.0f, 1.0f);  // slant range preserved
+}
+
+TEST(VolumeScan, PayloadBytesMatchesArrays) {
+  ScanConfig c;
+  c.n_azimuth = 3;
+  c.n_elevation = 2;
+  c.range_max = 1500.0f;
+  c.gate_length = 500.0f;
+  VolumeScan vs(c);
+  EXPECT_EQ(vs.payload_bytes(),
+            vs.reflectivity.size() * 4 + vs.doppler.size() * 4 +
+                vs.flag.size());
+}
+
+}  // namespace
+}  // namespace bda::pawr

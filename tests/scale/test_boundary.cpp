@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scale/boundary.hpp"
+
+namespace bda::scale {
+namespace {
+
+Grid bgrid() { return Grid(12, 12, 8, 500.0f, 8000.0f); }
+
+TEST(Davies, RimRelaxesInteriorUntouched) {
+  Grid g = bgrid();
+  const auto ref = ReferenceState::build(g, stable_sounding());
+  State s(g), bc(g);
+  s.init_from_reference(g, ref);
+  bc.init_from_reference(g, ref);
+  // Boundary target carries a 10 m/s wind; state starts calm.
+  for (idx i = 0; i < 12; ++i)
+    for (idx j = 0; j < 12; ++j)
+      for (idx k = 0; k < 8; ++k) bc.momx(i, j, k) = ref.dens[k] * 10.0f;
+  apply_davies(s, bc, 3, 1.0f, 2.0f);
+  // Outermost cell moved toward bc; deep interior unchanged.
+  EXPECT_GT(s.momx(0, 6, 2), 0.5f);
+  EXPECT_EQ(s.momx(6, 6, 2), 0.0f);
+  // Monotone ramp: cells closer to the edge relax harder.
+  EXPECT_GT(s.momx(0, 6, 2), s.momx(1, 6, 2));
+  EXPECT_GT(s.momx(1, 6, 2), s.momx(2, 6, 2));
+  EXPECT_EQ(s.momx(3, 6, 2), 0.0f);  // beyond the rim width
+}
+
+TEST(Davies, LongRelaxationConvergesToBoundary) {
+  Grid g = bgrid();
+  const auto ref = ReferenceState::build(g, stable_sounding());
+  State s(g), bc(g);
+  s.init_from_reference(g, ref);
+  bc.init_from_reference(g, ref);
+  for (idx k = 0; k < 8; ++k) bc.rhot(0, 6, k) += 5.0f;
+  for (int n = 0; n < 400; ++n) apply_davies(s, bc, 3, 1.0f, 2.0f);
+  EXPECT_NEAR(s.rhot(0, 6, 2), bc.rhot(0, 6, 2), 0.01f);
+}
+
+TEST(Davies, AlphaClampedForSmallTau) {
+  Grid g = bgrid();
+  const auto ref = ReferenceState::build(g, stable_sounding());
+  State s(g), bc(g);
+  s.init_from_reference(g, ref);
+  bc.init_from_reference(g, ref);
+  bc.momy(0, 0, 0) = 8.0f;
+  // dt >> tau: the blend must not overshoot past the boundary value.
+  apply_davies(s, bc, 2, 100.0f, 1.0f);
+  EXPECT_LE(s.momy(0, 0, 0), 8.0f + 1e-4f);
+  EXPECT_NEAR(s.momy(0, 0, 0), 8.0f, 1e-3f);
+}
+
+TEST(SteadyDriver, ProvidesReferenceWithMeanWind) {
+  Grid g = bgrid();
+  const auto ref = ReferenceState::build(g, stable_sounding());
+  SteadyDriver drv(g, ref, 5.0f, -3.0f);
+  State bc(g);
+  drv.fill(0.0, bc);
+  EXPECT_NEAR(bc.momx(6, 6, 2) / ref.dens[2], 5.0f, 1e-4f);
+  EXPECT_NEAR(bc.momy(6, 6, 2) / ref.dens[2], -3.0f, 1e-4f);
+  // Time-invariant.
+  State bc2(g);
+  drv.fill(7200.0, bc2);
+  EXPECT_EQ(bc.momx(3, 3, 1), bc2.momx(3, 3, 1));
+}
+
+TEST(MesoscaleDriver, PiecewiseConstantBetweenRefreshes) {
+  Grid g = bgrid();
+  const auto ref = ReferenceState::build(g, convective_sounding());
+  SyntheticMesoscaleDriver drv(g, ref, 6.0f, 2.0f, 10800.0);
+  State a(g), b(g), c(g);
+  drv.fill(1000.0, a);
+  drv.fill(9000.0, b);       // same 3-h window
+  drv.fill(12000.0, c);      // next window
+  EXPECT_EQ(a.momx(6, 6, 2), b.momx(6, 6, 2));
+  EXPECT_NE(a.momx(6, 6, 2), c.momx(6, 6, 2));
+}
+
+TEST(MesoscaleDriver, MoistureSurgeStaysLowLevel) {
+  Grid g = bgrid();
+  const auto ref = ReferenceState::build(g, convective_sounding());
+  SyntheticMesoscaleDriver drv(g, ref, 6.0f, 2.0f);
+  State bc(g);
+  // t = 10900 quantizes to the 10800-s refresh, where the 8-h moisture
+  // surge is at sin(3*pi/4) != 0.
+  drv.fill(10900.0, bc);
+  // qv perturbed near the surface, untouched aloft (zc > 2 km).
+  idx khigh = -1;
+  for (idx k = 0; k < 8; ++k)
+    if (g.zc(k) > 2500.0f) {
+      khigh = k;
+      break;
+    }
+  ASSERT_GE(khigh, 0);
+  EXPECT_NE(bc.rhoq[QV](6, 6, 0), ref.dens[0] * ref.qv[0]);
+  EXPECT_FLOAT_EQ(bc.rhoq[QV](6, 6, khigh),
+                  ref.dens[khigh] * ref.qv[khigh]);
+}
+
+TEST(Nesting, ConstantFieldPreserved) {
+  Grid coarse(12, 12, 8, 1500.0f, 8000.0f);
+  Grid fine(12, 12, 8, 500.0f, 8000.0f);
+  const auto refc = ReferenceState::build(coarse, stable_sounding());
+  State sc(coarse), sf(fine);
+  sc.init_from_reference(coarse, refc);
+  nest_interpolate(sc, coarse, sf, fine);
+  for (idx k = 0; k < 8; ++k) {
+    EXPECT_NEAR(sf.dens(0, 0, k), refc.dens[k], 1e-4f);
+    EXPECT_NEAR(sf.dens(11, 11, k), refc.dens[k], 1e-4f);
+    EXPECT_NEAR(sf.rhot(6, 6, k), refc.dens[k] * refc.theta[k], 1e-2f);
+  }
+}
+
+TEST(Nesting, LinearGradientReproduced) {
+  Grid coarse(12, 12, 4, 1500.0f, 4000.0f);
+  Grid fine(12, 12, 4, 500.0f, 4000.0f);
+  State sc(coarse), sf(fine);
+  sc.dens.fill(1.0f);
+  sf.dens.fill(1.0f);
+  // Linear in x: momx = x-coordinate (in km).
+  for (idx i = 0; i < 12; ++i)
+    for (idx j = 0; j < 12; ++j)
+      for (idx k = 0; k < 4; ++k)
+        sc.momx(i, j, k) = coarse.xc(i) / 1000.0f;
+  nest_interpolate(sc, coarse, sf, fine);
+  // Fine point at model x (centered offset applied) should match the ramp.
+  const real x_off = 0.5f * (coarse.extent_x() - fine.extent_x());
+  for (idx i = 2; i < 10; ++i) {
+    const real expect = (x_off + fine.xc(i)) / 1000.0f;
+    EXPECT_NEAR(sf.momx(i, 5, 2), expect, 0.02f) << "i=" << i;
+  }
+}
+
+TEST(Nesting, FineDomainIsCenteredSubset) {
+  // Values outside the fine footprint never enter: sample max.
+  Grid coarse(9, 9, 2, 1500.0f, 2000.0f);
+  Grid fine(9, 9, 2, 500.0f, 2000.0f);
+  State sc(coarse), sf(fine);
+  sc.dens.fill(1.0f);
+  // Mark the coarse center cell only.
+  sc.rhot(4, 4, 0) = 100.0f;
+  nest_interpolate(sc, coarse, sf, fine);
+  // The fine domain (4.5 km) sits centered in the 13.5-km coarse domain,
+  // i.e. entirely within coarse cells 3..5; the hot cell (4) dominates the
+  // fine center.
+  EXPECT_GT(sf.rhot(4, 4, 0), 50.0f);
+}
+
+}  // namespace
+}  // namespace bda::scale

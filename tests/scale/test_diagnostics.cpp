@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "scale/diagnostics.hpp"
+
+namespace bda::scale {
+namespace {
+
+using C = Constants<real>;
+
+TEST(MoistLapse, SmallerThanDryRate) {
+  // Latent heating makes a saturated parcel cool slower than g/cp.
+  const real dry = C::grav / C::cp;
+  for (real t : {270.0f, 285.0f, 300.0f}) {
+    const real moist = moist_lapse_rate(t, 90000.0f);
+    EXPECT_LT(moist, dry) << "T=" << t;
+    EXPECT_GT(moist, 0.003f);  // within physical bounds [K/m]
+  }
+}
+
+TEST(MoistLapse, ApproachesDryRateWhenCold) {
+  // Cold air holds little vapor -> moist rate tends to the dry rate.
+  const real dry = C::grav / C::cp;
+  const real cold = moist_lapse_rate(230.0f, 40000.0f);
+  const real warm = moist_lapse_rate(300.0f, 95000.0f);
+  EXPECT_GT(cold, 0.95f * dry);
+  EXPECT_LT(warm, 0.6f * dry);
+}
+
+TEST(ParcelDiagnostics, ConvectiveSoundingHasCape) {
+  Grid g = Grid::stretched(4, 4, 40, 500.0f, 16000.0f, 100.0f, 1.05f);
+  const auto ref = ReferenceState::build(g, convective_sounding());
+  const auto diag = parcel_diagnostics(g, ref);
+  // The nature-run environment must support deep convection.
+  EXPECT_GT(diag.cape, 200.0f) << "conditionally unstable by design";
+  EXPECT_GT(diag.lcl, 100.0f);
+  EXPECT_LT(diag.lcl, 3000.0f);
+  EXPECT_GE(diag.lfc, diag.lcl);
+  EXPECT_GT(diag.el, diag.lfc);  // deep positive area
+}
+
+TEST(ParcelDiagnostics, StableSoundingHasNoCape) {
+  Grid g = Grid::stretched(4, 4, 40, 500.0f, 16000.0f, 100.0f, 1.05f);
+  const auto ref = ReferenceState::build(g, stable_sounding());
+  const auto diag = parcel_diagnostics(g, ref);
+  EXPECT_FLOAT_EQ(diag.cape, 0.0f);
+}
+
+TEST(ParcelDiagnostics, StateColumnMatchesReferenceColumn) {
+  // A state initialized from the reference must yield (nearly) the same
+  // diagnostics as the reference itself.
+  Grid g = Grid::stretched(4, 4, 30, 500.0f, 14000.0f, 120.0f, 1.06f);
+  const auto ref = ReferenceState::build(g, convective_sounding());
+  State s(g);
+  s.init_from_reference(g, ref);
+  const auto from_ref = parcel_diagnostics(g, ref);
+  const auto from_state = parcel_diagnostics(g, s, 2, 2);
+  // The state's EOS pressure differs slightly from the marched reference
+  // pressure; allow a modest relative tolerance.
+  EXPECT_NEAR(from_state.cape, from_ref.cape,
+              0.2f * std::max(from_ref.cape, 50.0f));
+  EXPECT_NEAR(from_state.lcl, from_ref.lcl, 600.0f);
+}
+
+TEST(ParcelDiagnostics, MoisteningTheBoundaryLayerRaisesCape) {
+  Grid g = Grid::stretched(4, 4, 40, 500.0f, 16000.0f, 100.0f, 1.05f);
+  Sounding moist = convective_sounding();
+  Sounding drier = convective_sounding();
+  drier.rh_surface = 0.6f;
+  const auto cape_moist =
+      parcel_diagnostics(g, ReferenceState::build(g, moist)).cape;
+  const auto cape_dry =
+      parcel_diagnostics(g, ReferenceState::build(g, drier)).cape;
+  EXPECT_GT(cape_moist, cape_dry);
+}
+
+}  // namespace
+}  // namespace bda::scale

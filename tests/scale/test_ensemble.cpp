@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scale/ensemble.hpp"
+
+namespace bda::scale {
+namespace {
+
+Grid egrid() { return Grid(12, 12, 8, 500.0f, 8000.0f); }
+
+ModelConfig light_config() {
+  ModelConfig cfg;
+  cfg.dt = 0.5f;
+  cfg.enable_turb = cfg.enable_pbl = cfg.enable_sfc = cfg.enable_rad = false;
+  return cfg;
+}
+
+TEST(SmoothNoise, HasUnitScaleAndSpatialCorrelation) {
+  Rng rng(5);
+  const auto f = smooth_noise(32, 32, 4, rng);
+  double sum = 0, sum2 = 0;
+  for (idx i = 0; i < 32; ++i)
+    for (idx j = 0; j < 32; ++j) {
+      sum += f(i, j);
+      sum2 += f(i, j) * f(i, j);
+    }
+  const double mean = sum / 1024.0;
+  const double var = sum2 / 1024.0 - mean * mean;
+  EXPECT_LT(std::abs(mean), 0.5);
+  EXPECT_GT(var, 0.1);
+  EXPECT_LT(var, 2.0);
+  // Neighboring cells correlate (coarsen=4 smoothing).
+  double corr = 0, norm = 0;
+  for (idx i = 0; i + 1 < 32; ++i)
+    for (idx j = 0; j < 32; ++j) {
+      corr += (f(i, j) - mean) * (f(i + 1, j) - mean);
+      norm += (f(i, j) - mean) * (f(i, j) - mean);
+    }
+  EXPECT_GT(corr / norm, 0.5);
+}
+
+TEST(Ensemble, MembersStartIdentical) {
+  Grid g = egrid();
+  Ensemble ens(g, convective_sounding(), light_config(), 4);
+  EXPECT_EQ(ens.size(), 4);
+  for (int m = 1; m < 4; ++m)
+    EXPECT_EQ(ens.member(0).rhot(5, 5, 3), ens.member(m).rhot(5, 5, 3));
+}
+
+TEST(Ensemble, PerturbationCreatesSpreadBelowZmax) {
+  Grid g = egrid();
+  Ensemble ens(g, convective_sounding(), light_config(), 8);
+  Rng rng(11);
+  PerturbationSpec spec;
+  spec.theta_amp = 0.5f;
+  spec.zmax = 3000.0f;
+  ens.perturb(spec, rng);
+  // Spread at low level.
+  double spread_low = 0, spread_high = 0;
+  idx khigh = -1;
+  for (idx k = 0; k < 8; ++k)
+    if (g.zc(k) > 3500.0f) {
+      khigh = k;
+      break;
+    }
+  ASSERT_GE(khigh, 0);
+  for (int m = 1; m < 8; ++m) {
+    spread_low += std::abs(ens.member(m).theta(5, 5, 0) -
+                           ens.member(0).theta(5, 5, 0));
+    spread_high += std::abs(ens.member(m).theta(5, 5, khigh) -
+                            ens.member(0).theta(5, 5, khigh));
+  }
+  EXPECT_GT(spread_low, 0.05);
+  EXPECT_EQ(spread_high, 0.0);
+}
+
+TEST(Ensemble, MeanOfIdenticalMembersIsMember) {
+  Grid g = egrid();
+  Ensemble ens(g, convective_sounding(), light_config(), 3);
+  const State mean = ens.mean();
+  EXPECT_NEAR(mean.rhot(4, 4, 2), ens.member(0).rhot(4, 4, 2), 1e-3f);
+  EXPECT_NEAR(mean.dens(4, 4, 2), ens.member(0).dens(4, 4, 2), 1e-6f);
+}
+
+TEST(Ensemble, MeanAveragesPerturbations) {
+  Grid g = egrid();
+  Ensemble ens(g, convective_sounding(), light_config(), 2);
+  ens.member(0).rhot(4, 4, 2) += 2.0f;
+  ens.member(1).rhot(4, 4, 2) -= 2.0f;
+  const State mean = ens.mean();
+  Ensemble fresh(g, convective_sounding(), light_config(), 1);
+  EXPECT_NEAR(mean.rhot(4, 4, 2), fresh.member(0).rhot(4, 4, 2), 1e-3f);
+}
+
+TEST(Ensemble, AdvanceKeepsMembersFiniteAndDistinct) {
+  Grid g = egrid();
+  Ensemble ens(g, convective_sounding(), light_config(), 4);
+  Rng rng(13);
+  ens.perturb({}, rng);
+  ens.advance(5.0f);
+  EXPECT_DOUBLE_EQ(ens.time(), 5.0);
+  for (int m = 0; m < 4; ++m)
+    EXPECT_FALSE(ens.member(m).has_nonfinite());
+  bool distinct = false;
+  for (int m = 1; m < 4; ++m)
+    if (ens.member(m).rhot(6, 6, 1) != ens.member(0).rhot(6, 6, 1))
+      distinct = true;
+  EXPECT_TRUE(distinct);
+}
+
+TEST(Ensemble, PrecipTrackedPerMember) {
+  Grid g = egrid();
+  Ensemble ens(g, convective_sounding(), light_config(), 2);
+  // Put rain aloft in member 1 only.
+  ens.member(1).rhoq[QR](5, 5, 5) = ens.member(1).dens(5, 5, 5) * 5e-3f;
+  ens.advance(30.0f);
+  EXPECT_EQ(ens.precip(0).interior_max(), 0.0f);
+  // Member 1's rain is falling (it may not reach the ground in 30 s, but
+  // the field moved down).
+  EXPECT_LT(ens.member(1).q(QR, 5, 5, 5), 5e-3f);
+}
+
+}  // namespace
+}  // namespace bda::scale

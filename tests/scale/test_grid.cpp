@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "scale/grid.hpp"
+
+namespace bda::scale {
+namespace {
+
+TEST(Grid, UniformLevelsPartitionColumn) {
+  Grid g(8, 8, 10, 500.0f, 10000.0f);
+  EXPECT_FLOAT_EQ(g.zf(0), 0.0f);
+  EXPECT_FLOAT_EQ(g.zf(10), 10000.0f);
+  for (idx k = 0; k < 10; ++k) {
+    EXPECT_FLOAT_EQ(g.dz(k), 1000.0f);
+    EXPECT_FLOAT_EQ(g.zc(k), g.zf(k) + 500.0f);
+  }
+}
+
+TEST(Grid, StretchedLevelsReachTopExactly) {
+  Grid g = Grid::stretched(8, 8, 60, 500.0f, 16400.0f, 80.0f, 1.032f);
+  EXPECT_NEAR(g.zf(60), 16400.0f, 0.5f);
+  EXPECT_FLOAT_EQ(g.zf(0), 0.0f);
+}
+
+TEST(Grid, StretchedThicknessIsMonotone) {
+  Grid g = Grid::stretched(4, 4, 30, 500.0f, 15000.0f, 100.0f, 1.05f);
+  for (idx k = 1; k < 30; ++k) EXPECT_GT(g.dz(k), g.dz(k - 1));
+}
+
+TEST(Grid, StretchFactorOneIsUniform) {
+  Grid g = Grid::stretched(4, 4, 10, 500.0f, 10000.0f, 77.0f, 1.0f);
+  for (idx k = 0; k < 10; ++k) EXPECT_NEAR(g.dz(k), 1000.0f, 1e-2f);
+}
+
+TEST(Grid, FaceCenterConsistency) {
+  Grid g = Grid::stretched(4, 4, 20, 500.0f, 12000.0f, 90.0f, 1.06f);
+  for (idx k = 0; k < 20; ++k) {
+    EXPECT_NEAR(g.zc(k), 0.5f * (g.zf(k) + g.zf(k + 1)), 1e-3f);
+    EXPECT_NEAR(g.dz(k), g.zf(k + 1) - g.zf(k), 1e-3f);
+  }
+  for (idx k = 1; k < 20; ++k)
+    EXPECT_NEAR(g.dzf(k), g.zc(k) - g.zc(k - 1), 1e-3f);
+}
+
+TEST(Grid, HorizontalCoordinates) {
+  Grid g(16, 8, 4, 500.0f, 4000.0f);
+  EXPECT_FLOAT_EQ(g.xc(0), 250.0f);
+  EXPECT_FLOAT_EQ(g.xc(15), 7750.0f);
+  EXPECT_FLOAT_EQ(g.extent_x(), 8000.0f);
+  EXPECT_FLOAT_EQ(g.extent_y(), 4000.0f);
+}
+
+TEST(Grid, PaperInnerMatchesTable3) {
+  // Table 3: 128 km x 128 km, 500-m spacing (256 x 256), 60 levels, 16.4-km
+  // top, 30-s / 0.4-s -> geometry only here.
+  Grid g = Grid::paper_inner();
+  EXPECT_EQ(g.nx(), 256);
+  EXPECT_EQ(g.ny(), 256);
+  EXPECT_EQ(g.nz(), 60);
+  EXPECT_FLOAT_EQ(g.dx(), 500.0f);
+  EXPECT_NEAR(g.ztop(), 16400.0f, 1.0f);
+  EXPECT_FLOAT_EQ(g.extent_x(), 128000.0f);
+}
+
+TEST(Grid, PaperOuterIsCoarser) {
+  Grid o = Grid::paper_outer();
+  Grid i = Grid::paper_inner();
+  EXPECT_FLOAT_EQ(o.dx(), 1500.0f);
+  EXPECT_GT(o.extent_x(), i.extent_x());
+  EXPECT_EQ(o.nz(), i.nz());  // shared column for nesting
+}
+
+}  // namespace
+}  // namespace bda::scale

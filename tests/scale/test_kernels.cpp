@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "scale/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace bda::scale {
+namespace {
+
+TEST(Upwind3, ReproducesConstantField) {
+  EXPECT_FLOAT_EQ(upwind3(3.0f, 3.0f, 3.0f, 3.0f, 1.0f), 3.0f);
+  EXPECT_FLOAT_EQ(upwind3(3.0f, 3.0f, 3.0f, 3.0f, -1.0f), 3.0f);
+}
+
+TEST(Upwind3, ExactForLinearField) {
+  // Values at cells -1, 0, 1, 2 of a linear ramp q = a + b*i; the face
+  // between 0 and 1 is at i = 0.5.
+  const float a = 2.0f, b = 0.5f;
+  const float qm1 = a - b, q0 = a, qp1 = a + b, qp2 = a + 2 * b;
+  EXPECT_NEAR(upwind3(qm1, q0, qp1, qp2, 1.0f), a + 0.5f * b, 1e-6f);
+  EXPECT_NEAR(upwind3(qm1, q0, qp1, qp2, -1.0f), a + 0.5f * b, 1e-6f);
+}
+
+TEST(Upwind3, BiasFollowsVelocitySign) {
+  // For a field with curvature, positive velocity weights the upwind
+  // (left) side.
+  const float qm1 = 0, q0 = 0, qp1 = 1, qp2 = 4;  // convex
+  const float plus = upwind3(qm1, q0, qp1, qp2, 1.0f);
+  const float minus = upwind3(qm1, q0, qp1, qp2, -1.0f);
+  EXPECT_NE(plus, minus);
+}
+
+TEST(Upwind1, PicksUpwindCell) {
+  EXPECT_FLOAT_EQ(upwind1(1.0f, 2.0f, 3.0f), 1.0f);
+  EXPECT_FLOAT_EQ(upwind1(1.0f, 2.0f, -3.0f), 2.0f);
+  EXPECT_FLOAT_EQ(upwind1(1.0f, 2.0f, 0.0f), 1.0f);  // ties go upwind-left
+}
+
+template <typename T>
+void check_tridiag(std::size_t n, Rng& rng) {
+  std::vector<T> a(n), b(n), c(n), d(n), c2(n), d2(n);
+  std::vector<T> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = T(rng.uniform(-0.4, 0.4));
+    c[i] = T(rng.uniform(-0.4, 0.4));
+    b[i] = T(2.0 + rng.uniform(0.0, 1.0));  // diagonally dominant
+    x_true[i] = T(rng.uniform(-5.0, 5.0));
+  }
+  // Build d = A x_true.
+  for (std::size_t i = 0; i < n; ++i) {
+    T s = b[i] * x_true[i];
+    if (i > 0) s += a[i] * x_true[i - 1];
+    if (i + 1 < n) s += c[i] * x_true[i + 1];
+    d[i] = s;
+  }
+  c2 = c;
+  d2 = d;
+  solve_tridiagonal<T>(a, b, c2, d2);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(double(d2[i]), double(x_true[i]), 1e-4)
+        << "n=" << n << " i=" << i;
+}
+
+TEST(Tridiagonal, SolvesRandomDominantSystems) {
+  Rng rng(321);
+  for (std::size_t n : {1u, 2u, 3u, 10u, 60u, 200u}) check_tridiag<float>(n, rng);
+}
+
+TEST(Tridiagonal, DoublePrecisionTighter) {
+  Rng rng(322);
+  std::vector<double> a(60), b(60), c(60), d(60), x(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    a[i] = rng.uniform(-0.45, 0.45);
+    c[i] = rng.uniform(-0.45, 0.45);
+    b[i] = 2.0;
+    x[i] = rng.uniform(-1, 1);
+  }
+  for (std::size_t i = 0; i < 60; ++i) {
+    d[i] = b[i] * x[i];
+    if (i > 0) d[i] += a[i] * x[i - 1];
+    if (i + 1 < 60) d[i] += c[i] * x[i + 1];
+  }
+  solve_tridiagonal<double>(a, b, c, d);
+  for (std::size_t i = 0; i < 60; ++i) EXPECT_NEAR(d[i], x[i], 1e-12);
+}
+
+TEST(Symv, MatchesManualProduct) {
+  const std::size_t n = 4;
+  std::array<float, 16> a{};
+  std::array<float, 4> x{1, 2, 3, 4}, y{};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a[i * n + j] = float(i == j ? 2.0 : 0.5);
+  symv<float>(n, a.data(), x.data(), y.data());
+  // y_i = 2 x_i + 0.5 (sum - x_i) = 1.5 x_i + 5
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_FLOAT_EQ(y[i], 1.5f * x[i] + 5.0f);
+}
+
+TEST(Gemm, SmallKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const float a[4] = {1, 2, 3, 4};
+  const float b[4] = {5, 6, 7, 8};
+  float c[4];
+  gemm<float>(2, 2, 2, a, b, c);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(Gemm, RectangularShapes) {
+  // (1x3) * (3x2)
+  const float a[3] = {1, 2, 3};
+  const float b[6] = {1, 0, 0, 1, 1, 1};
+  float c[2];
+  gemm<float>(1, 3, 2, a, b, c);
+  EXPECT_FLOAT_EQ(c[0], 1 * 1 + 2 * 0 + 3 * 1);
+  EXPECT_FLOAT_EQ(c[1], 1 * 0 + 2 * 1 + 3 * 1);
+}
+
+}  // namespace
+}  // namespace bda::scale

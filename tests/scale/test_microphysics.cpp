@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scale/microphysics.hpp"
+#include "scale/reference.hpp"
+
+namespace bda::scale {
+namespace {
+
+Grid mp_grid() { return Grid(4, 4, 12, 500.0f, 9000.0f); }
+
+State saturated_state(const Grid& g, real rh_factor, real t_offset = 0.0f) {
+  Sounding snd = convective_sounding();
+  snd.theta_surface += t_offset;
+  const auto ref = ReferenceState::build(g, snd);
+  State s(g);
+  s.init_from_reference(g, ref);
+  for (idx i = 0; i < s.nx; ++i)
+    for (idx j = 0; j < s.ny; ++j)
+      for (idx k = 0; k < s.nz; ++k) {
+        // Scale vapor toward/above saturation.
+        const real qs =
+            qsat_liquid(s.temperature(i, j, k), s.pressure(i, j, k));
+        const real target = rh_factor * qs;
+        const real dq = s.dens(i, j, k) * target - s.rhoq[QV](i, j, k);
+        s.rhoq[QV](i, j, k) += dq;
+        s.dens(i, j, k) += dq;
+      }
+  return s;
+}
+
+TEST(Microphysics, SupersaturationCondensesAndWarms) {
+  Grid g = mp_grid();
+  State s = saturated_state(g, 1.10f);
+  const real th0 = s.theta(1, 1, 2);
+  Microphysics mp(g);
+  mp.step(s, 1.0f);
+  EXPECT_GT(s.q(QC, 1, 1, 2), 1e-5f);        // cloud formed
+  EXPECT_GT(s.theta(1, 1, 2), th0);          // latent heating
+  // Post-adjustment vapor is ~saturated.  The residual is not Newton error:
+  // the adjustment holds pressure fixed, but latent heating raises rho*theta
+  // and hence the EOS pressure, shifting qsat by a few percent — the known
+  // approximation of constant-pressure saturation adjustment.
+  const real qs = qsat_liquid(s.temperature(1, 1, 2), s.pressure(1, 1, 2));
+  EXPECT_NEAR(s.q(QV, 1, 1, 2) / qs, 1.0f, 0.06f);
+}
+
+TEST(Microphysics, SubsaturationNoCloudNoChange) {
+  Grid g = mp_grid();
+  State s = saturated_state(g, 0.5f);
+  Microphysics mp(g);
+  mp.step(s, 1.0f);
+  EXPECT_EQ(s.q(QC, 2, 2, 3), 0.0f);
+  EXPECT_EQ(s.q(QR, 2, 2, 3), 0.0f);
+}
+
+TEST(Microphysics, CloudEvaporatesInSubsaturatedAir) {
+  Grid g = mp_grid();
+  State s = saturated_state(g, 0.6f);
+  // Inject cloud into dry air.
+  s.rhoq[QC](1, 1, 2) = s.dens(1, 1, 2) * 1e-3f;
+  const real th0 = s.theta(1, 1, 2);
+  Microphysics mp(g);
+  mp.step(s, 1.0f);
+  EXPECT_LT(s.q(QC, 1, 1, 2), 1e-3f);  // some evaporated
+  EXPECT_LT(s.theta(1, 1, 2), th0);    // evaporative cooling
+}
+
+TEST(Microphysics, PhaseChangesConserveWaterAndMass) {
+  Grid g = mp_grid();
+  State s = saturated_state(g, 1.15f);
+  s.rhoq[QC](1, 1, 3) += s.dens(1, 1, 3) * 2e-3f;
+  s.rhoq[QR](2, 2, 2) += s.dens(2, 2, 2) * 1e-3f;
+  Microphysics mp(g);
+  const double w0 = s.total_water();
+  const double m0 = s.total_mass();
+  // Phase changes only (sedimentation tested separately): use a state
+  // snapshot, then run full step and re-add sedimented mass via precip.
+  mp.step(s, 1.0f);
+  const double precip_mass = [&] {
+    // accumulated precip is kg/m2 == mm; convert back to column kg/m3*cells
+    double total = 0;
+    for (idx i = 0; i < 4; ++i)
+      for (idx j = 0; j < 4; ++j) total += mp.accumulated_precip()(i, j);
+    return total;
+  }();
+  // Total water in the air + what left through the surface, in consistent
+  // units: precip is kg/m2; dividing by dz(0) would convert, but since
+  // sedimentation subtracts flux*dt/dz from the lowest cell, the column
+  // integral sum(rhoq * dz) is what is conserved.  Check with dz weights:
+  (void)w0;
+  (void)m0;
+  (void)precip_mass;
+  double col0 = 0, col1 = 0;
+  // Rebuild a fresh state and compare dz-weighted water before/after.
+  State s2 = saturated_state(g, 1.15f);
+  s2.rhoq[QC](1, 1, 3) += s2.dens(1, 1, 3) * 2e-3f;
+  s2.rhoq[QR](2, 2, 2) += s2.dens(2, 2, 2) * 1e-3f;
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 4; ++j)
+      for (idx k = 0; k < 12; ++k)
+        for (int t = 0; t < kNumTracers; ++t)
+          col0 += double(s2.rhoq[t](i, j, k)) * g.dz(k);
+  Microphysics mp2(g);
+  mp2.step(s2, 1.0f);
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 4; ++j)
+      for (idx k = 0; k < 12; ++k)
+        for (int t = 0; t < kNumTracers; ++t)
+          col1 += double(s2.rhoq[t](i, j, k)) * g.dz(k);
+  double precip2 = 0;
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 4; ++j) precip2 += mp2.accumulated_precip()(i, j);
+  EXPECT_NEAR(col0, col1 + precip2, 1e-3 * col0);
+}
+
+TEST(Microphysics, AutoconversionNeedsThreshold) {
+  Grid g = mp_grid();
+  MicroParams p;
+  p.ice_enabled = false;
+  // Below threshold: no rain.
+  State s = saturated_state(g, 0.99f);
+  s.rhoq[QC](1, 1, 2) = s.dens(1, 1, 2) * (p.qc_auto_threshold * 0.5f);
+  Microphysics mp(g, p);
+  mp.step(s, 1.0f);
+  EXPECT_LT(s.q(QR, 1, 1, 2), 1e-8f);
+  // Above threshold: rain appears.
+  State s2 = saturated_state(g, 0.99f);
+  s2.rhoq[QC](1, 1, 2) = s2.dens(1, 1, 2) * (p.qc_auto_threshold * 5.0f);
+  Microphysics mp2(g, p);
+  mp2.step(s2, 10.0f);
+  EXPECT_GT(s2.q(QR, 1, 1, 2), 1e-7f);
+}
+
+TEST(Microphysics, ColdCloudFreezesToIce) {
+  Grid g(4, 4, 20, 500.0f, 14000.0f);
+  State s = saturated_state(g, 0.9f);
+  // Find a level colder than -40 C.
+  idx kcold = -1;
+  for (idx k = 0; k < 20; ++k)
+    if (s.temperature(1, 1, k) < 230.0f) {
+      kcold = k;
+      break;
+    }
+  ASSERT_GE(kcold, 0);
+  s.rhoq[QC](1, 1, kcold) = s.dens(1, 1, kcold) * 1e-3f;
+  Microphysics mp(g);
+  mp.step(s, 1.0f);
+  EXPECT_LT(s.q(QC, 1, 1, kcold), 1e-6f);
+  EXPECT_GT(s.q(QI, 1, 1, kcold), 0.5e-3f);
+}
+
+TEST(Microphysics, SnowMeltsAboveFreezing) {
+  Grid g = mp_grid();
+  State s = saturated_state(g, 0.9f, 5.0f);
+  ASSERT_GT(s.temperature(1, 1, 0), 280.0f);
+  s.rhoq[QS](1, 1, 0) = s.dens(1, 1, 0) * 1e-3f;
+  Microphysics mp(g);
+  const real th0 = s.theta(1, 1, 0);
+  mp.step(s, 60.0f);
+  EXPECT_LT(s.q(QS, 1, 1, 0), 1e-3f);
+  EXPECT_GT(s.q(QR, 1, 1, 0), 1e-5f);
+  EXPECT_LT(s.theta(1, 1, 0), th0);  // melting cools
+}
+
+TEST(Microphysics, IceDisabledKeepsColdPhaseEmpty) {
+  Grid g(4, 4, 20, 500.0f, 14000.0f);
+  MicroParams p;
+  p.ice_enabled = false;
+  State s = saturated_state(g, 1.2f);
+  Microphysics mp(g, p);
+  for (int n = 0; n < 10; ++n) mp.step(s, 5.0f);
+  EXPECT_EQ(s.rhoq[QI].interior_max(), 0.0f);
+  EXPECT_EQ(s.rhoq[QS].interior_max(), 0.0f);
+  EXPECT_EQ(s.rhoq[QG].interior_max(), 0.0f);
+}
+
+TEST(Sedimentation, RainFallsAndReachesSurface) {
+  Grid g = mp_grid();
+  State s = saturated_state(g, 0.2f);  // dry: suppress phase changes
+  const idx ktop = 8;
+  s.rhoq[QR](2, 2, ktop) = s.dens(2, 2, ktop) * 3e-3f;
+  MicroParams p;
+  Microphysics mp(g, p);
+  // Many short steps; rain at ~6-7 m/s should cross ~6 km in ~15 min.
+  for (int n = 0; n < 90; ++n) mp.sediment_only(s, 10.0f);
+  EXPECT_GT(mp.accumulated_precip()(2, 2), 0.05f);
+  EXPECT_LT(s.q(QR, 2, 2, ktop), 3e-4f);  // source level emptied
+}
+
+TEST(Sedimentation, NoHydrometeorsNoPrecip) {
+  Grid g = mp_grid();
+  State s = saturated_state(g, 0.2f);
+  Microphysics mp(g);
+  mp.step(s, 30.0f);
+  EXPECT_EQ(mp.accumulated_precip().interior_max(), 0.0f);
+}
+
+TEST(Reflectivity, MonotoneInRainContent) {
+  Grid g = mp_grid();
+  State s = saturated_state(g, 0.5f);
+  s.rhoq[QR](1, 1, 1) = s.dens(1, 1, 1) * 1e-4f;
+  const real z1 = cell_reflectivity_dbz(s, 1, 1, 1);
+  s.rhoq[QR](1, 1, 1) = s.dens(1, 1, 1) * 1e-3f;
+  const real z2 = cell_reflectivity_dbz(s, 1, 1, 1);
+  s.rhoq[QR](1, 1, 1) = s.dens(1, 1, 1) * 5e-3f;
+  const real z3 = cell_reflectivity_dbz(s, 1, 1, 1);
+  EXPECT_LT(z1, z2);
+  EXPECT_LT(z2, z3);
+  // Heavy rain (5 g/kg) lands in the hazardous 40+ dBZ class of Fig 6.
+  EXPECT_GT(z3, 40.0f);
+}
+
+TEST(Reflectivity, ClearAirIsFloor) {
+  Grid g = mp_grid();
+  State s = saturated_state(g, 0.5f);
+  EXPECT_LE(cell_reflectivity_dbz(s, 0, 0, 0), -19.0f);
+}
+
+TEST(FallSpeed, ZeroWithoutHydrometeorsAndMassWeighted) {
+  Grid g = mp_grid();
+  State s = saturated_state(g, 0.5f);
+  MicroParams p;
+  EXPECT_EQ(cell_fall_speed(s, p, 0, 0, 0), 0.0f);
+  s.rhoq[QR](0, 0, 0) = s.dens(0, 0, 0) * 2e-3f;
+  const real vr = cell_fall_speed(s, p, 0, 0, 0);
+  EXPECT_GT(vr, 2.0f);
+  EXPECT_LE(vr, p.vt_max);  // cap binds for heavy rain
+  // Adding slow snow reduces the mass-weighted speed.
+  s.rhoq[QS](0, 0, 0) = s.dens(0, 0, 0) * 2e-3f;
+  EXPECT_LT(cell_fall_speed(s, p, 0, 0, 0), vr);
+}
+
+}  // namespace
+}  // namespace bda::scale

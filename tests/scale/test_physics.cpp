@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scale/boundary_layer.hpp"
+#include "scale/radiation.hpp"
+#include "scale/surface.hpp"
+#include "scale/turbulence.hpp"
+
+namespace bda::scale {
+namespace {
+
+Grid phys_grid() { return Grid(8, 8, 12, 500.0f, 9000.0f); }
+
+State base_state(const Grid& g, const Sounding& snd) {
+  const auto ref = ReferenceState::build(g, snd);
+  State s(g);
+  s.init_from_reference(g, ref);
+  s.fill_halos_periodic();
+  return s;
+}
+
+// ---------- Smagorinsky turbulence ----------
+
+TEST(Turbulence, NoMotionNoViscosity) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  Turbulence turb(g);
+  turb.step(s, 2.0f);
+  EXPECT_EQ(turb.k_m().interior_max(), 0.0f);
+}
+
+TEST(Turbulence, ShearGeneratesViscosity) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  // Strong horizontal shear in u.
+  for (idx i = -Grid::kHalo; i < s.nx + Grid::kHalo; ++i)
+    for (idx j = -Grid::kHalo; j < s.ny + Grid::kHalo; ++j)
+      for (idx k = 0; k < s.nz; ++k)
+        s.momx(i, j, k) = s.dens(i, j, k) * 10.0f *
+                          std::sin(2.0f * real(M_PI) * real((j % s.ny + s.ny) % s.ny) / 8.0f);
+  Turbulence turb(g);
+  turb.step(s, 2.0f);
+  EXPECT_GT(turb.k_m().interior_max(), 1.0f);
+}
+
+TEST(Turbulence, DiffusionSmoothsScalarExtremum) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  // Shear so K > 0, plus a theta spike.
+  for (idx i = -Grid::kHalo; i < s.nx + Grid::kHalo; ++i)
+    for (idx j = -Grid::kHalo; j < s.ny + Grid::kHalo; ++j)
+      for (idx k = 0; k < s.nz; ++k)
+        s.momx(i, j, k) =
+            s.dens(i, j, k) * 8.0f * real((j % 2 == 0) ? 1 : -1);
+  const real spike = 5.0f;
+  s.rhot(4, 4, 5) += s.dens(4, 4, 5) * spike;
+  const real th0 = s.theta(4, 4, 5);
+  s.fill_halos_periodic();
+  Turbulence turb(g);
+  for (int n = 0; n < 5; ++n) turb.step(s, 2.0f);
+  EXPECT_LT(s.theta(4, 4, 5), th0);             // peak decayed
+  EXPECT_GT(s.theta(4, 4, 5), th0 - spike);     // but not overshooting
+}
+
+TEST(Turbulence, ViscosityCapHolds) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  TurbParams p;
+  p.k_max = 50.0f;
+  for (idx i = -Grid::kHalo; i < s.nx + Grid::kHalo; ++i)
+    for (idx j = -Grid::kHalo; j < s.ny + Grid::kHalo; ++j)
+      for (idx k = 0; k < s.nz; ++k)
+        s.momx(i, j, k) = s.dens(i, j, k) * 50.0f *
+                          real((i % 2 == 0) ? 1 : -1);
+  Turbulence turb(g, p);
+  turb.step(s, 1.0f);
+  EXPECT_LE(turb.k_m().interior_max(), 50.0f);
+}
+
+// ---------- TKE boundary layer ----------
+
+TEST(BoundaryLayer, TkeStartsAtFloor) {
+  Grid g = phys_grid();
+  BoundaryLayer pbl(g);
+  EXPECT_FLOAT_EQ(pbl.tke()(3, 3, 3), PblParams().tke_min);
+}
+
+TEST(BoundaryLayer, ShearProducesTke) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  // Strong vertical shear (0.05 /s) so shear production dominates the
+  // stable sounding's buoyancy destruction.
+  for (idx i = -Grid::kHalo; i < s.nx + Grid::kHalo; ++i)
+    for (idx j = -Grid::kHalo; j < s.ny + Grid::kHalo; ++j)
+      for (idx k = 0; k < s.nz; ++k)
+        s.momx(i, j, k) = s.dens(i, j, k) * (2.0f + 0.05f * g.zc(k));
+  BoundaryLayer pbl(g);
+  for (int n = 0; n < 10; ++n) pbl.step(s, 5.0f);
+  EXPECT_GT(pbl.tke()(4, 4, 3), 2.0f * PblParams().tke_min);
+}
+
+TEST(BoundaryLayer, StableStratificationSuppressesTke) {
+  Grid g = phys_grid();
+  // Strongly stable sounding, no shear: buoyancy destroys TKE.
+  Sounding snd = stable_sounding();
+  snd.theta_lapse_pbl = 0.02f;
+  snd.theta_lapse_free = 0.02f;
+  State s = base_state(g, snd);
+  BoundaryLayer pbl(g);
+  pbl.tke().fill(0.5f);  // seed turbulence
+  for (int n = 0; n < 20; ++n) pbl.step(s, 5.0f);
+  EXPECT_LT(pbl.tke()(4, 4, 4), 0.5f);
+}
+
+TEST(BoundaryLayer, MixingErodesSurfaceGradient) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  // Superadiabatic near-surface layer (hot bottom cell).
+  s.rhot(4, 4, 0) += s.dens(4, 4, 0) * 3.0f;
+  BoundaryLayer pbl(g);
+  pbl.tke().fill(1.0f);  // vigorous turbulence
+  const real grad0 = s.theta(4, 4, 0) - s.theta(4, 4, 1);
+  for (int n = 0; n < 10; ++n) pbl.step(s, 10.0f);
+  const real grad1 = s.theta(4, 4, 0) - s.theta(4, 4, 1);
+  EXPECT_LT(grad1, grad0);
+}
+
+// ---------- Beljaars surface fluxes ----------
+
+TEST(Surface, StabilityFactorsBehave) {
+  // Neutral = 1; stable < 1; unstable > 1; monotone.
+  EXPECT_NEAR(Surface::stability_factor_momentum(0.0f), 1.0f, 1e-5f);
+  EXPECT_NEAR(Surface::stability_factor_heat(0.0f), 1.0f, 1e-5f);
+  EXPECT_LT(Surface::stability_factor_momentum(0.5f), 0.5f);
+  EXPECT_GT(Surface::stability_factor_momentum(-0.5f), 1.0f);
+  EXPECT_LT(Surface::stability_factor_heat(1.0f),
+            Surface::stability_factor_heat(0.1f));
+  EXPECT_GT(Surface::stability_factor_heat(-1.0f),
+            Surface::stability_factor_heat(-0.1f));
+  // Floors prevent total decoupling.
+  EXPECT_GT(Surface::stability_factor_momentum(100.0f), 0.0f);
+}
+
+TEST(Surface, WarmSurfaceHeatsAndMoistensLowestLayer) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  // Wind so the bulk fluxes act.
+  for (idx i = -Grid::kHalo; i < s.nx + Grid::kHalo; ++i)
+    for (idx j = -Grid::kHalo; j < s.ny + Grid::kHalo; ++j)
+      s.momx(i, j, 0) = s.dens(i, j, 0) * 5.0f;
+  SurfaceParams sp;
+  sp.t_surface = 310.0f;  // much warmer than the air
+  sp.wetness = 1.0f;
+  Surface sfc(g, sp);
+  const real th0 = s.theta(4, 4, 0);
+  const real qv0 = s.q(QV, 4, 4, 0);
+  sfc.step(s, 60.0f);
+  EXPECT_GT(s.theta(4, 4, 0), th0);
+  EXPECT_GT(s.q(QV, 4, 4, 0), qv0);
+}
+
+TEST(Surface, DragDeceleratesWind) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  for (idx i = -Grid::kHalo; i < s.nx + Grid::kHalo; ++i)
+    for (idx j = -Grid::kHalo; j < s.ny + Grid::kHalo; ++j)
+      s.momx(i, j, 0) = s.dens(i, j, 0) * 10.0f;
+  Surface sfc(g, {});
+  const real u0 = std::abs(s.momx(4, 4, 0));
+  sfc.step(s, 60.0f);
+  EXPECT_LT(std::abs(s.momx(4, 4, 0)), u0);
+  EXPECT_GT(s.momx(4, 4, 0), 0.0f);  // implicit drag cannot reverse flow
+}
+
+TEST(Surface, FeedsTkeProduction) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  for (idx i = -Grid::kHalo; i < s.nx + Grid::kHalo; ++i)
+    for (idx j = -Grid::kHalo; j < s.ny + Grid::kHalo; ++j)
+      s.momx(i, j, 0) = s.dens(i, j, 0) * 8.0f;
+  BoundaryLayer pbl(g);
+  Surface sfc(g, {});
+  const real e0 = pbl.tke()(4, 4, 0);
+  sfc.step(s, 10.0f, &pbl);
+  EXPECT_GT(pbl.tke()(4, 4, 0), e0);
+}
+
+// ---------- Radiation ----------
+
+TEST(Radiation, ClearSkyCoolsTroposphere) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  Radiation rad(g);
+  const real th0 = s.theta(4, 4, 3);
+  rad.step(s, 3600.0f);  // one hour
+  const real dth = s.theta(4, 4, 3) - th0;
+  EXPECT_LT(dth, 0.0f);
+  EXPECT_GT(dth, -0.2f);  // ~1.5 K/day => ~0.06 K/h
+}
+
+TEST(Radiation, CloudTopGetsExtraCooling) {
+  Grid g = phys_grid();
+  State s = base_state(g, stable_sounding());
+  s.rhoq[QC](4, 4, 6) = s.dens(4, 4, 6) * 5e-4f;  // cloud at level 6
+  Radiation rad(g);
+  State clear = base_state(g, stable_sounding());
+  rad.step(s, 3600.0f);
+  Radiation rad2(g);
+  rad2.step(clear, 3600.0f);
+  const real dth_cloud = s.theta(4, 4, 6) - 0;  // compare cooling amounts
+  const real dth_clear = clear.theta(4, 4, 6) - 0;
+  EXPECT_LT(dth_cloud, dth_clear);  // cloudy column cooled more at cloud top
+}
+
+}  // namespace
+}  // namespace bda::scale

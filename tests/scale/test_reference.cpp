@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scale/reference.hpp"
+
+namespace bda::scale {
+namespace {
+
+using C = Constants<real>;
+
+TEST(Sounding, ThetaIncreasesWithHeight) {
+  for (const Sounding& s : {stable_sounding(), convective_sounding()}) {
+    real prev = s.theta(0.0f);
+    for (real z = 500.0f; z <= 16000.0f; z += 500.0f) {
+      const real th = s.theta(z);
+      EXPECT_GE(th, prev - 1e-3f) << "z=" << z;
+      prev = th;
+    }
+  }
+}
+
+TEST(Sounding, ConvectiveHasMoistWellMixedBoundaryLayer) {
+  const Sounding s = convective_sounding();
+  // Well-mixed: theta nearly constant in the PBL.
+  EXPECT_NEAR(s.theta(0.0f), s.theta(1000.0f), 0.1f);
+  // Moist near the surface, drier aloft.
+  EXPECT_GT(s.rh(100.0f), 0.8f);
+  EXPECT_LT(s.rh(9000.0f), s.rh(100.0f));
+}
+
+TEST(Sounding, StratosphereIsStronglyStable) {
+  const Sounding s = convective_sounding();
+  const real below = s.theta(11500.0f) - s.theta(11000.0f);
+  const real above = s.theta(14500.0f) - s.theta(14000.0f);
+  EXPECT_GT(above, 2.0f * below);
+}
+
+TEST(SaturationVapor, KnownValuesAndMonotonicity) {
+  // es(0 C) ~ 611 Pa; es(20 C) ~ 2339 Pa; es(-20 C over ice) ~ 103 Pa.
+  EXPECT_NEAR(esat_liquid(273.15f), 611.0f, 5.0f);
+  EXPECT_NEAR(esat_liquid(293.15f), 2339.0f, 40.0f);
+  EXPECT_NEAR(esat_ice(253.15f), 103.0f, 5.0f);
+  for (real t = 230.0f; t < 310.0f; t += 5.0f)
+    EXPECT_GT(esat_liquid(t + 5.0f), esat_liquid(t));
+}
+
+TEST(SaturationVapor, IceBelowLiquidBelowFreezing) {
+  for (real t = 230.0f; t < 273.0f; t += 5.0f)
+    EXPECT_LT(esat_ice(t), esat_liquid(t));
+}
+
+TEST(SaturationVapor, QsatDecreasesWithPressure) {
+  EXPECT_GT(qsat_liquid(290.0f, 80000.0f), qsat_liquid(290.0f, 100000.0f));
+}
+
+TEST(ReferenceState, SurfacePressureHonored) {
+  Grid g(4, 4, 40, 500.0f, 16000.0f);
+  const auto ref = ReferenceState::build(g, stable_sounding(), 100000.0f);
+  // Lowest level sits at zc(0) = 200 m; p there should be a bit below ps.
+  EXPECT_LT(ref.pres[0], 100000.0f);
+  EXPECT_GT(ref.pres[0], 95000.0f);
+}
+
+TEST(ReferenceState, PressureAndDensityDecreaseUpward) {
+  Grid g = Grid::stretched(4, 4, 60, 500.0f, 16400.0f, 80.0f, 1.032f);
+  const auto ref = ReferenceState::build(g, convective_sounding());
+  for (idx k = 1; k < 60; ++k) {
+    EXPECT_LT(ref.pres[k], ref.pres[k - 1]);
+    EXPECT_LT(ref.dens[k], ref.dens[k - 1]);
+  }
+  // Scale height sanity: pressure at ~16 km is 8-12% of surface.
+  EXPECT_LT(ref.pres[59], 0.15f * ref.pres[0]);
+  EXPECT_GT(ref.pres[59], 0.05f * ref.pres[0]);
+}
+
+TEST(ReferenceState, HydrostaticBalanceDiscretely) {
+  Grid g(4, 4, 50, 500.0f, 15000.0f);
+  const auto ref = ReferenceState::build(g, stable_sounding());
+  // dp/dz ~ -rho g between adjacent levels (to a few per mille).
+  for (idx k = 1; k < 50; ++k) {
+    const real dpdz = (ref.pres[k] - ref.pres[k - 1]) / g.dzf(k);
+    const real rho_face = 0.5f * (ref.dens[k] + ref.dens[k - 1]);
+    EXPECT_NEAR(dpdz, -rho_face * C::grav, 0.012f * rho_face * C::grav)
+        << "k=" << k;
+  }
+}
+
+TEST(ReferenceState, IdealGasConsistency) {
+  Grid g(4, 4, 30, 500.0f, 12000.0f);
+  const auto ref = ReferenceState::build(g, convective_sounding());
+  for (idx k = 0; k < 30; ++k) {
+    const real tem = ref.theta[k] *
+                     std::pow(ref.pres[k] / C::pres00, C::kappa);
+    const real rho_expected =
+        ref.pres[k] / (C::rdry * tem * (1.0f + 0.608f * ref.qv[k]));
+    EXPECT_NEAR(ref.dens[k], rho_expected, 1e-3f * rho_expected);
+  }
+}
+
+TEST(ReferenceState, MoistureFollowsSoundingRh) {
+  Grid g(4, 4, 30, 500.0f, 12000.0f);
+  const Sounding s = convective_sounding();
+  const auto ref = ReferenceState::build(g, s);
+  // qv should be close to rh * qsat at each level.
+  for (idx k = 0; k < 30; k += 5) {
+    const real tem = ref.theta[k] *
+                     std::pow(ref.pres[k] / C::pres00, C::kappa);
+    const real qs = qsat_liquid(tem, ref.pres[k]);
+    EXPECT_NEAR(ref.qv[k], s.rh(g.zc(k)) * qs, 0.05f * qs) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace bda::scale

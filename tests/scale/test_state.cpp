@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scale/state.hpp"
+
+namespace bda::scale {
+namespace {
+
+using C = Constants<real>;
+
+Grid small_grid() { return Grid(6, 5, 8, 500.0f, 8000.0f); }
+
+TEST(State, InitFromReferenceIsHorizontallyUniform) {
+  Grid g = small_grid();
+  const auto ref = ReferenceState::build(g, stable_sounding());
+  State s(g);
+  s.init_from_reference(g, ref);
+  for (idx k = 0; k < 8; ++k) {
+    EXPECT_FLOAT_EQ(s.dens(0, 0, k), s.dens(5, 4, k));
+    EXPECT_FLOAT_EQ(s.rhot(2, 3, k), ref.dens[k] * ref.theta[k]);
+    EXPECT_FLOAT_EQ(s.rhoq[QV](1, 1, k), ref.dens[k] * ref.qv[k]);
+    EXPECT_FLOAT_EQ(s.rhoq[QC](1, 1, k), 0.0f);
+  }
+}
+
+TEST(State, ThetaAndTracerDiagnostics) {
+  Grid g = small_grid();
+  State s(g);
+  s.dens(1, 1, 1) = 1.0f;
+  s.rhot(1, 1, 1) = 300.0f;
+  s.rhoq[QR](1, 1, 1) = 0.002f;
+  EXPECT_FLOAT_EQ(s.theta(1, 1, 1), 300.0f);
+  EXPECT_FLOAT_EQ(s.q(QR, 1, 1, 1), 0.002f);
+}
+
+TEST(State, PressureMatchesEquationOfState) {
+  Grid g = small_grid();
+  State s(g);
+  s.dens(0, 0, 0) = 1.2f;
+  s.rhot(0, 0, 0) = 1.2f * 290.0f;
+  const real expected =
+      C::pres00 *
+      std::pow(C::rdry * 1.2f * 290.0f / C::pres00, C::cp / C::cv);
+  EXPECT_NEAR(s.pressure(0, 0, 0), expected, 1.0f);
+  // Temperature from p and rho.
+  EXPECT_NEAR(s.temperature(0, 0, 0),
+              s.pressure(0, 0, 0) / (C::rdry * 1.2f), 0.01f);
+}
+
+TEST(State, VelocityDiagnosticsAverageFaces) {
+  Grid g = small_grid();
+  State s(g);
+  for (auto* f : {&s.dens}) f->fill(1.0f);
+  s.momx(1, 2, 3) = 2.0f;   // face between cells 1 and 2
+  s.momx(2, 2, 3) = 4.0f;   // face between cells 2 and 3
+  EXPECT_FLOAT_EQ(s.u(2, 2, 3), 3.0f);
+  s.momy(2, 1, 3) = 1.0f;
+  s.momy(2, 2, 3) = 3.0f;
+  EXPECT_FLOAT_EQ(s.v(2, 2, 3), 2.0f);
+  s.momz(2, 2, 3) = 6.0f;
+  s.momz(2, 2, 4) = 2.0f;
+  EXPECT_FLOAT_EQ(s.w(2, 2, 3), 4.0f);
+}
+
+TEST(State, TotalsAndWater) {
+  Grid g = small_grid();
+  State s(g);
+  s.dens.fill(0);
+  s.dens(0, 0, 0) = 2.0f;
+  s.rhoq[QV](0, 0, 0) = 0.5f;
+  s.rhoq[QG](1, 1, 1) = 0.25f;
+  EXPECT_DOUBLE_EQ(s.total_mass(), 2.0);
+  EXPECT_DOUBLE_EQ(s.total_water(), 0.75);
+}
+
+TEST(State, NonfiniteDetection) {
+  Grid g = small_grid();
+  State s(g);
+  EXPECT_FALSE(s.has_nonfinite());
+  s.rhot(3, 3, 3) = std::numeric_limits<real>::quiet_NaN();
+  EXPECT_TRUE(s.has_nonfinite());
+  s.rhot(3, 3, 3) = 0.0f;
+  s.momz(1, 1, 8) = std::numeric_limits<real>::infinity();
+  EXPECT_TRUE(s.has_nonfinite());
+}
+
+TEST(State, AxpbyCombinesAllFields) {
+  Grid g = small_grid();
+  State a(g), b(g);
+  a.dens.fill(1.0f);
+  b.dens.fill(3.0f);
+  a.rhoq[QS].fill(2.0f);
+  b.rhoq[QS].fill(4.0f);
+  a.momz.fill(1.0f);
+  b.momz.fill(-1.0f);
+  a.axpby(0.5f, 0.5f, b);
+  EXPECT_FLOAT_EQ(a.dens(2, 2, 2), 2.0f);
+  EXPECT_FLOAT_EQ(a.rhoq[QS](1, 1, 1), 3.0f);
+  EXPECT_FLOAT_EQ(a.momz(1, 1, 4), 0.0f);
+}
+
+TEST(State, TracerNamesAligned) {
+  EXPECT_STREQ(tracer_name(QV), "qv");
+  EXPECT_STREQ(tracer_name(QG), "qg");
+  EXPECT_STREQ(tracer_name(-1), "??");
+  EXPECT_STREQ(tracer_name(kNumTracers), "??");
+}
+
+TEST(State, MomzHasExtraLevel) {
+  Grid g = small_grid();
+  State s(g);
+  EXPECT_EQ(s.momz.nz(), 9);  // nz + 1 faces
+  EXPECT_EQ(s.dens.nz(), 8);
+}
+
+}  // namespace
+}  // namespace bda::scale

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "util/ascii_render.hpp"
+
+namespace bda {
+namespace {
+
+TEST(AsciiRender, DbzClassesMapToExpectedGlyphs) {
+  RField2D f(6, 1, 0);
+  f(0, 0) = 5;    // ' '
+  f(1, 0) = 15;   // '.'
+  f(2, 0) = 25;   // ':'
+  f(3, 0) = 35;   // 'o'
+  f(4, 0) = 45;   // 'O'
+  f(5, 0) = 55;   // '@'
+  EXPECT_EQ(render_dbz(f), " .:oO@\n");
+}
+
+TEST(AsciiRender, NorthIsUp) {
+  RField2D f(1, 2, 0);
+  f(0, 0) = 0;   // south: blank
+  f(0, 1) = 55;  // north: '@'
+  EXPECT_EQ(render_dbz(f), "@\n \n");
+}
+
+TEST(AsciiRender, LinearRampClampsOutOfRange) {
+  RField2D f(3, 1, 0);
+  f(0, 0) = -100;  // below lo -> first glyph (space)
+  f(1, 0) = 0.5f;
+  f(2, 0) = 100;   // above hi -> last glyph ('@')
+  const auto s = render_field(f, 0.0f, 1.0f);
+  EXPECT_EQ(s.front(), ' ');
+  EXPECT_EQ(s[2], '@');
+}
+
+TEST(AsciiRender, SliceExtractsLevel) {
+  RField3D f(2, 2, 3, 0);
+  f(1, 0, 2) = 7.0f;
+  const auto s = slice_k(f, 2);
+  EXPECT_EQ(s(1, 0), 7.0f);
+  EXPECT_EQ(s(0, 0), 0.0f);
+}
+
+TEST(AsciiRender, ColumnMaxTakesMaximumOverRange) {
+  RField3D f(1, 1, 4, 0);
+  f(0, 0, 0) = 1;
+  f(0, 0, 1) = 9;
+  f(0, 0, 2) = 3;
+  f(0, 0, 3) = 99;
+  EXPECT_EQ(column_max(f, 0, 3)(0, 0), 9.0f);  // level 3 excluded
+  EXPECT_EQ(column_max(f, 0, 4)(0, 0), 99.0f);
+}
+
+}  // namespace
+}  // namespace bda

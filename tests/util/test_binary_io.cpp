@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/binary_io.hpp"
+
+namespace bda {
+namespace {
+
+Field3D<float> make_field(idx nx, idx ny, idx nz, float scale) {
+  Field3D<float> f(nx, ny, nz, 0);
+  for (idx i = 0; i < nx; ++i)
+    for (idx j = 0; j < ny; ++j)
+      for (idx k = 0; k < nz; ++k)
+        f(i, j, k) = scale * float(i * 100 + j * 10 + k);
+  return f;
+}
+
+TEST(BinaryIo, EncodeDecodeRoundtripPreservesData) {
+  std::vector<FieldRecord> recs;
+  recs.push_back({"qr", make_field(4, 5, 6, 1.0f)});
+  recs.push_back({"reflectivity", make_field(3, 3, 2, -0.5f)});
+  const auto buf = encode_bdf(recs);
+  const auto back = decode_bdf(buf);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "qr");
+  EXPECT_EQ(back[1].name, "reflectivity");
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 5; ++j)
+      for (idx k = 0; k < 6; ++k)
+        EXPECT_EQ(back[0].data(i, j, k), recs[0].data(i, j, k));
+}
+
+TEST(BinaryIo, HaloIsNotSerialized) {
+  Field3D<float> f(2, 2, 2, 2);
+  f.fill(99.0f);
+  f(0, 0, 0) = 1.0f;
+  std::vector<FieldRecord> recs;
+  recs.push_back({"x", std::move(f)});
+  const auto back = decode_bdf(encode_bdf(recs));
+  EXPECT_EQ(back[0].data.halo(), 0);
+  EXPECT_EQ(back[0].data(0, 0, 0), 1.0f);
+  EXPECT_EQ(back[0].data(1, 1, 1), 99.0f);
+}
+
+TEST(BinaryIo, CorruptedByteDetected) {
+  std::vector<FieldRecord> recs;
+  recs.push_back({"a", make_field(3, 3, 3, 1.0f)});
+  auto buf = encode_bdf(recs);
+  buf[buf.size() / 2] ^= 0xFF;
+  EXPECT_THROW(decode_bdf(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, TruncationDetected) {
+  std::vector<FieldRecord> recs;
+  recs.push_back({"a", make_field(3, 3, 3, 1.0f)});
+  auto buf = encode_bdf(recs);
+  buf.resize(buf.size() - 8);
+  EXPECT_THROW(decode_bdf(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, BadMagicDetected) {
+  std::vector<FieldRecord> recs;
+  recs.push_back({"a", make_field(2, 2, 2, 1.0f)});
+  auto buf = encode_bdf(recs);
+  buf[0] = 'X';
+  EXPECT_THROW(decode_bdf(buf), std::runtime_error);
+}
+
+TEST(BinaryIo, FileRoundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bda_test_io.bdf").string();
+  std::vector<FieldRecord> recs;
+  recs.push_back({"field", make_field(5, 4, 3, 2.0f)});
+  write_bdf(path, recs);
+  const auto back = read_bdf(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].data(4, 3, 2), recs[0].data(4, 3, 2));
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, ReadMissingFileThrows) {
+  EXPECT_THROW(read_bdf("/nonexistent/file.bdf"), std::runtime_error);
+}
+
+TEST(Crc32, KnownVectorAndSensitivity) {
+  // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+  // Single-bit change flips the CRC.
+  std::uint8_t a[4] = {1, 2, 3, 4};
+  std::uint8_t b[4] = {1, 2, 3, 5};
+  EXPECT_NE(crc32(a, 4), crc32(b, 4));
+  // Empty input is well-defined.
+  EXPECT_EQ(crc32(a, 0), 0u);
+}
+
+}  // namespace
+}  // namespace bda

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "util/codec.hpp"
+#include "util/rng.hpp"
+
+namespace bda {
+namespace {
+
+TEST(Rle, RoundtripSparseBuffer) {
+  // Clear-air-like buffer: long runs with occasional echoes.
+  std::vector<std::uint8_t> in(10000, 0x14);
+  for (std::size_t i = 3000; i < 3050; ++i) in[i] = std::uint8_t(i & 0xFF);
+  const auto enc = encode_rle(in);
+  EXPECT_LT(enc.size(), in.size() / 10);  // compresses hard
+  EXPECT_EQ(decode_rle(enc), in);
+}
+
+TEST(Rle, RoundtripRandomBuffer) {
+  Rng rng(1);
+  std::vector<std::uint8_t> in(5000);
+  for (auto& b : in) b = std::uint8_t(rng.uniform_int(256));
+  const auto enc = encode_rle(in);
+  EXPECT_EQ(decode_rle(enc), in);
+  // Random data barely inflates (escape bytes only).
+  EXPECT_LT(enc.size(), in.size() + in.size() / 16);
+}
+
+TEST(Rle, EmptyInput) {
+  EXPECT_TRUE(encode_rle({}).empty());
+  EXPECT_TRUE(decode_rle({}).empty());
+}
+
+TEST(Rle, EscapeByteItselfSurvives) {
+  std::vector<std::uint8_t> in = {0xAB, 0x01, 0xAB, 0xAB, 0x02};
+  EXPECT_EQ(decode_rle(encode_rle(in)), in);
+}
+
+TEST(Rle, VeryLongRunSplitAcrossChunks) {
+  std::vector<std::uint8_t> in(200000, 0x77);  // > 65535 run length
+  EXPECT_EQ(decode_rle(encode_rle(in)), in);
+}
+
+TEST(Rle, TruncatedEscapeRejected) {
+  std::vector<std::uint8_t> bad = {0xAB, 0x05};
+  EXPECT_THROW(decode_rle(bad), std::runtime_error);
+}
+
+TEST(Rle, ZeroRunRejected) {
+  std::vector<std::uint8_t> bad = {0xAB, 0x00, 0x00, 0x42};
+  EXPECT_THROW(decode_rle(bad), std::runtime_error);
+}
+
+TEST(Rle, ShortRunsStayLiteral) {
+  std::vector<std::uint8_t> in = {1, 1, 1, 2, 3};  // run of 3 < min run 4
+  const auto enc = encode_rle(in);
+  EXPECT_EQ(enc, in);  // untouched
+}
+
+}  // namespace
+}  // namespace bda

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "util/config.hpp"
+
+namespace bda {
+namespace {
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const auto cfg = Config::parse(
+      "[letkf]\n"
+      "members = 1000\n"
+      "hloc = 2000.0\n"
+      "[scale]\n"
+      "dt = 0.4\n");
+  EXPECT_EQ(cfg.require("letkf.members"), "1000");
+  EXPECT_EQ(cfg.require_long("letkf.members"), 1000);
+  EXPECT_DOUBLE_EQ(cfg.require_double("letkf.hloc"), 2000.0);
+  EXPECT_DOUBLE_EQ(cfg.require_double("scale.dt"), 0.4);
+  EXPECT_EQ(cfg.size(), 3u);
+}
+
+TEST(Config, KeysWithoutSectionAreBare) {
+  const auto cfg = Config::parse("alpha = 0.95\n");
+  EXPECT_DOUBLE_EQ(cfg.require_double("alpha"), 0.95);
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  const auto cfg = Config::parse(
+      "# full-line comment\n"
+      "\n"
+      "a = 1  # trailing comment\n"
+      "; semicolon comment\n"
+      "b = 2\n");
+  EXPECT_EQ(cfg.require_long("a"), 1);
+  EXPECT_EQ(cfg.require_long("b"), 2);
+}
+
+TEST(Config, WhitespaceTrimmed) {
+  const auto cfg = Config::parse("  key   =   value with spaces   \n");
+  EXPECT_EQ(cfg.require("key"), "value with spaces");
+}
+
+TEST(Config, GetOrFallsBack) {
+  const auto cfg = Config::parse("x = 3\n");
+  EXPECT_EQ(cfg.get_or("x", 0L), 3);
+  EXPECT_EQ(cfg.get_or("missing", 7L), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_or("missing", 2.5), 2.5);
+  EXPECT_EQ(cfg.get_or("missing", std::string("d")), "d");
+}
+
+TEST(Config, BooleanForms) {
+  const auto cfg = Config::parse(
+      "a = true\nb = off\nc = Yes\nd = 0\n");
+  EXPECT_TRUE(cfg.get_or("a", false));
+  EXPECT_FALSE(cfg.get_or("b", true));
+  EXPECT_TRUE(cfg.get_or("c", false));
+  EXPECT_FALSE(cfg.get_or("d", true));
+  EXPECT_TRUE(cfg.get_or("missing", true));
+}
+
+TEST(Config, MalformedLineThrowsWithLineNumber) {
+  try {
+    Config::parse("good = 1\nbad line without equals\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Config, UnterminatedSectionThrows) {
+  EXPECT_THROW(Config::parse("[oops\n"), std::runtime_error);
+}
+
+TEST(Config, EmptyKeyThrows) {
+  EXPECT_THROW(Config::parse(" = value\n"), std::runtime_error);
+}
+
+TEST(Config, RequireMissingThrows) {
+  const auto cfg = Config::parse("x = 1\n");
+  EXPECT_THROW(cfg.require("y"), std::runtime_error);
+}
+
+TEST(Config, BadBooleanThrows) {
+  const auto cfg = Config::parse("x = maybe\n");
+  EXPECT_THROW(cfg.get_or("x", true), std::runtime_error);
+}
+
+TEST(Config, SetOverridesAndHas) {
+  auto cfg = Config::parse("x = 1\n");
+  EXPECT_TRUE(cfg.has("x"));
+  EXPECT_FALSE(cfg.has("y"));
+  cfg.set("x", "2");
+  cfg.set("y", "3");
+  EXPECT_EQ(cfg.require_long("x"), 2);
+  EXPECT_EQ(cfg.require_long("y"), 3);
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW(Config::load("/nonexistent/path/cfg.ini"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bda

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "util/field.hpp"
+
+namespace bda {
+namespace {
+
+TEST(Field3D, StoresAndRetrievesByIndex) {
+  Field3D<float> f(4, 5, 6, 1);
+  f(0, 0, 0) = 1.5f;
+  f(3, 4, 5) = -2.0f;
+  f(-1, -1, 0) = 7.0f;  // halo
+  f(4, 5, 3) = 8.0f;    // halo
+  EXPECT_EQ(f(0, 0, 0), 1.5f);
+  EXPECT_EQ(f(3, 4, 5), -2.0f);
+  EXPECT_EQ(f(-1, -1, 0), 7.0f);
+  EXPECT_EQ(f(4, 5, 3), 8.0f);
+}
+
+TEST(Field3D, DistinctCellsDoNotAlias) {
+  Field3D<int> f(3, 3, 3, 1);
+  int v = 0;
+  for (idx i = -1; i < 4; ++i)
+    for (idx j = -1; j < 4; ++j)
+      for (idx k = 0; k < 3; ++k) f(i, j, k) = v++;
+  v = 0;
+  for (idx i = -1; i < 4; ++i)
+    for (idx j = -1; j < 4; ++j)
+      for (idx k = 0; k < 3; ++k) EXPECT_EQ(f(i, j, k), v++);
+}
+
+TEST(Field3D, ColumnIsContiguousAndMatchesIndexing) {
+  Field3D<float> f(3, 3, 8, 2);
+  for (idx k = 0; k < 8; ++k) f(1, 2, k) = float(10 + k);
+  auto col = f.column(1, 2);
+  ASSERT_EQ(col.size(), 8u);
+  for (idx k = 0; k < 8; ++k) EXPECT_EQ(col[k], float(10 + k));
+  // Contiguity: adjacent k differ by one element.
+  EXPECT_EQ(&col[1], &col[0] + 1);
+}
+
+TEST(Field3D, SizeAccountsForHalo) {
+  Field3D<float> f(4, 4, 4, 2);
+  EXPECT_EQ(f.size(), std::size_t(8 * 8 * 4));
+  EXPECT_EQ(f.interior_size(), std::size_t(64));
+}
+
+TEST(Field3D, PeriodicHaloWrapsBothDirections) {
+  Field3D<float> f(4, 3, 2, 2);
+  for (idx i = 0; i < 4; ++i)
+    for (idx j = 0; j < 3; ++j)
+      for (idx k = 0; k < 2; ++k) f(i, j, k) = float(100 * i + 10 * j + k);
+  f.fill_halo_periodic();
+  EXPECT_EQ(f(-1, 0, 0), f(3, 0, 0));
+  EXPECT_EQ(f(-2, 1, 1), f(2, 1, 1));
+  EXPECT_EQ(f(4, 2, 0), f(0, 2, 0));
+  EXPECT_EQ(f(5, 0, 1), f(1, 0, 1));
+  EXPECT_EQ(f(0, -1, 0), f(0, 2, 0));
+  EXPECT_EQ(f(2, 4, 1), f(2, 1, 1));
+  // Corner: both wrap.
+  EXPECT_EQ(f(-1, -1, 0), f(3, 2, 0));
+}
+
+TEST(Field3D, ClampHaloCopiesNearestInterior) {
+  Field3D<float> f(3, 3, 2, 2);
+  for (idx i = 0; i < 3; ++i)
+    for (idx j = 0; j < 3; ++j)
+      for (idx k = 0; k < 2; ++k) f(i, j, k) = float(10 * i + j);
+  f.fill_halo_clamp();
+  EXPECT_EQ(f(-1, 1, 0), f(0, 1, 0));
+  EXPECT_EQ(f(-2, 1, 0), f(0, 1, 0));
+  EXPECT_EQ(f(4, 1, 1), f(2, 1, 1));
+  EXPECT_EQ(f(1, -2, 0), f(1, 0, 0));
+  EXPECT_EQ(f(-2, 4, 0), f(0, 2, 0));
+}
+
+TEST(Field3D, InteriorReductionsIgnoreHalo) {
+  Field3D<float> f(2, 2, 2, 1);
+  f.fill(100.0f);  // fills halo too
+  for (idx i = 0; i < 2; ++i)
+    for (idx j = 0; j < 2; ++j)
+      for (idx k = 0; k < 2; ++k) f(i, j, k) = 1.0f;
+  f(1, 1, 1) = 5.0f;
+  f(0, 0, 0) = -3.0f;
+  EXPECT_DOUBLE_EQ(f.interior_sum(), 6.0 * 1.0 + 5.0 - 3.0);
+  EXPECT_EQ(f.interior_max(), 5.0f);
+  EXPECT_EQ(f.interior_min(), -3.0f);
+}
+
+TEST(Field3D, CopyFromRequiresSameShapeAndCopies) {
+  Field3D<float> a(3, 3, 3, 1), b(3, 3, 3, 1);
+  b(1, 1, 1) = 42.0f;
+  a.copy_from(b);
+  EXPECT_EQ(a(1, 1, 1), 42.0f);
+  EXPECT_TRUE(a.same_shape(b));
+  Field3D<float> c(3, 3, 4, 1);
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Field2D, IndexingAndHalo) {
+  Field2D<float> f(3, 4, 1);
+  f(0, 0) = 1.0f;
+  f(2, 3) = 2.0f;
+  f(-1, -1) = 3.0f;
+  EXPECT_EQ(f(0, 0), 1.0f);
+  EXPECT_EQ(f(2, 3), 2.0f);
+  EXPECT_EQ(f(-1, -1), 3.0f);
+  EXPECT_EQ(f.size(), std::size_t(5 * 6));
+}
+
+TEST(Field2D, InteriorSumAndMax) {
+  Field2D<float> f(2, 2, 0);
+  f(0, 0) = 1;
+  f(0, 1) = 2;
+  f(1, 0) = 3;
+  f(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(f.interior_sum(), 10.0);
+  EXPECT_EQ(f.interior_max(), 4.0f);
+}
+
+}  // namespace
+}  // namespace bda

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace bda {
+namespace {
+
+struct SinkCapture {
+  std::vector<std::pair<LogLevel, std::string>> events;
+  Logger::Sink install() {
+    return Logger::global().set_sink(
+        [this](LogLevel lvl, const std::string& msg) {
+          events.emplace_back(lvl, msg);
+        });
+  }
+};
+
+TEST(Logging, SinkReceivesFormattedMessage) {
+  SinkCapture cap;
+  auto prev = cap.install();
+  Logger::global().set_level(LogLevel::kDebug);
+  log_info("cycle ", 42, " took ", 1.5, "s");
+  Logger::global().set_sink(std::move(prev));
+  ASSERT_EQ(cap.events.size(), 1u);
+  EXPECT_EQ(cap.events[0].first, LogLevel::kInfo);
+  EXPECT_EQ(cap.events[0].second, "cycle 42 took 1.5s");
+}
+
+TEST(Logging, LevelFiltersBelowThreshold) {
+  SinkCapture cap;
+  auto prev = cap.install();
+  Logger::global().set_level(LogLevel::kWarn);
+  log_debug("hidden");
+  log_info("hidden too");
+  log_warn("visible");
+  log_error("also visible");
+  Logger::global().set_sink(std::move(prev));
+  Logger::global().set_level(LogLevel::kInfo);
+  ASSERT_EQ(cap.events.size(), 2u);
+  EXPECT_EQ(cap.events[0].second, "visible");
+  EXPECT_EQ(cap.events[1].first, LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace bda

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace bda {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats s;
+  const double xs[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 31.0);
+  // Sample variance of {1,2,4,8,16}.
+  double m = 6.2, v = 0;
+  for (double x : xs) v += (x - m) * (x - m);
+  v /= 4.0;
+  EXPECT_NEAR(s.variance(), v, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(v), 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10 + i * 0.1;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+}
+
+TEST(Percentile, OrderStatistics) {
+  std::vector<double> v = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenSamples) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 97), 9.7);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(FractionBelow, CountsInclusive) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(fraction_below(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(v, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_below({}, 1.0), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(50.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, RenderContainsEveryBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string out = h.render(10);
+  // Three lines, peak bin has the longest bar.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bda

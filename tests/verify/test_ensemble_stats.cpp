@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "verify/ensemble_stats.hpp"
+
+namespace bda::verify {
+namespace {
+
+TEST(RankOfTruth, CountsMembersBelow) {
+  std::vector<real> m = {1.0f, 3.0f, 5.0f, 7.0f};
+  EXPECT_EQ(rank_of_truth(m, 0.0f), 0u);   // truth below all
+  EXPECT_EQ(rank_of_truth(m, 2.0f), 1u);
+  EXPECT_EQ(rank_of_truth(m, 6.0f), 3u);
+  EXPECT_EQ(rank_of_truth(m, 10.0f), 4u);  // truth above all
+}
+
+TEST(RankHistogram, CalibratedEnsembleIsUniform) {
+  // Truth drawn from the same distribution as the members: ranks uniform.
+  Rng rng(1);
+  const std::size_t k = 9;
+  RankHistogram hist(k);
+  std::vector<real> members(k);
+  for (int s = 0; s < 20000; ++s) {
+    for (auto& m : members) m = real(rng.normal());
+    hist.add(members, real(rng.normal()));
+  }
+  EXPECT_EQ(hist.samples(), 20000u);
+  // Outliers near the uniform expectation.
+  EXPECT_NEAR(hist.outlier_ratio(), 1.0, 0.12);
+  // Chi-square below a generous bound for k dof (critical ~ 21.7 at 1%).
+  EXPECT_LT(hist.chi_square(), 30.0);
+}
+
+TEST(RankHistogram, UnderdispersiveEnsembleIsUShaped) {
+  // Members have half the truth's spread: truth falls outside often.
+  Rng rng(2);
+  const std::size_t k = 9;
+  RankHistogram hist(k);
+  std::vector<real> members(k);
+  for (int s = 0; s < 5000; ++s) {
+    for (auto& m : members) m = real(0.4 * rng.normal());
+    hist.add(members, real(rng.normal()));
+  }
+  EXPECT_GT(hist.outlier_ratio(), 2.0);
+  EXPECT_GT(hist.chi_square(), 100.0);
+}
+
+TEST(SpreadSkill, ConsistentEnsembleNearOne) {
+  Rng rng(3);
+  const std::size_t k = 20;
+  SpreadSkill ss;
+  std::vector<real> members(k);
+  for (int s = 0; s < 20000; ++s) {
+    for (auto& m : members) m = real(rng.normal(2.0, 1.5));
+    ss.add(members, real(rng.normal(2.0, 1.5)));
+  }
+  // Expected ratio sqrt(1 + 1/k) ~ 1.025.
+  EXPECT_NEAR(ss.consistency_ratio(), std::sqrt(1.0 + 1.0 / k), 0.05);
+  EXPECT_NEAR(ss.mean_spread(), 1.5 * 1.5, 0.08);
+}
+
+TEST(SpreadSkill, OverconfidentEnsembleAboveOne) {
+  Rng rng(4);
+  SpreadSkill ss;
+  std::vector<real> members(16);
+  for (int s = 0; s < 5000; ++s) {
+    for (auto& m : members) m = real(0.3 * rng.normal());
+    ss.add(members, real(rng.normal()));  // error >> spread
+  }
+  EXPECT_GT(ss.consistency_ratio(), 2.0);
+}
+
+TEST(SpreadSkill, TooFewMembersIgnored) {
+  SpreadSkill ss;
+  std::vector<real> one = {1.0f};
+  ss.add(one, 0.0f);
+  EXPECT_EQ(ss.samples(), 0u);
+}
+
+TEST(InnovationStats, NormalizedMoments) {
+  InnovationStats st;
+  // Innovations exactly +-2 with obs error 2 -> z = +-1: mean 0, sd 1.
+  for (int s = 0; s < 100; ++s) {
+    st.add(2.0, 2.0);
+    st.add(-2.0, 2.0);
+  }
+  EXPECT_EQ(st.count, 200u);
+  EXPECT_NEAR(st.mean(), 0.0, 1e-12);
+  EXPECT_NEAR(st.stddev(), 1.0, 1e-9);
+}
+
+TEST(InnovationStats, BiasDetected) {
+  InnovationStats st;
+  for (int s = 0; s < 50; ++s) st.add(3.0, 1.0);
+  EXPECT_NEAR(st.mean(), 3.0, 1e-12);
+  EXPECT_NEAR(st.stddev(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bda::verify

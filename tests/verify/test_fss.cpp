@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "verify/scores.hpp"
+
+namespace bda::verify {
+namespace {
+
+RField2D blob(idx cx, idx cy, idx n = 24) {
+  RField2D f(n, n, 0);
+  f.fill(-20.0f);
+  for (idx i = cx - 1; i <= cx + 1; ++i)
+    for (idx j = cy - 1; j <= cy + 1; ++j)
+      if (i >= 0 && i < n && j >= 0 && j < n) f(i, j) = 40.0f;
+  return f;
+}
+
+TEST(Fss, PerfectForecastIsOne) {
+  const auto f = blob(12, 12);
+  for (idx n : {0, 1, 3, 6})
+    EXPECT_DOUBLE_EQ(fractions_skill_score(f, f, 30.0f, n), 1.0);
+}
+
+TEST(Fss, EventAbsentEverywhereIsOne) {
+  RField2D empty(24, 24, 0);
+  empty.fill(-20.0f);
+  EXPECT_DOUBLE_EQ(fractions_skill_score(empty, empty, 30.0f, 2), 1.0);
+}
+
+TEST(Fss, GrowsWithNeighborhoodForDisplacedFeature) {
+  // The canonical FSS property: a displaced storm that scores zero
+  // point-wise gains skill as the neighborhood widens past the
+  // displacement.
+  const auto fcst = blob(9, 12);
+  const auto obs = blob(14, 12);  // displaced 5 cells
+  const double fss0 = fractions_skill_score(fcst, obs, 30.0f, 0);
+  const double fss3 = fractions_skill_score(fcst, obs, 30.0f, 3);
+  const double fss8 = fractions_skill_score(fcst, obs, 30.0f, 8);
+  EXPECT_NEAR(fss0, 0.0, 1e-12);  // disjoint at grid scale
+  EXPECT_GT(fss3, fss0);
+  EXPECT_GT(fss8, fss3);
+  EXPECT_GT(fss8, 0.5);
+}
+
+TEST(Fss, PointScoreMatchesContingencyIntuition) {
+  // At neighborhood 0 with identical overlap fractions, FSS and threat
+  // score rank forecasts the same way.
+  const auto obs = blob(12, 12);
+  const auto near_fcst = blob(13, 12);
+  const auto far_fcst = blob(20, 12);
+  EXPECT_GT(fractions_skill_score(near_fcst, obs, 30.0f, 0),
+            fractions_skill_score(far_fcst, obs, 30.0f, 0));
+}
+
+TEST(Fss, BoundedZeroToOne) {
+  const auto fcst = blob(4, 4);
+  const auto obs = blob(20, 20);
+  for (idx n : {0, 2, 5}) {
+    const double fss = fractions_skill_score(fcst, obs, 30.0f, n);
+    EXPECT_GE(fss, 0.0);
+    EXPECT_LE(fss, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace bda::verify

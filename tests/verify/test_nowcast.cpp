@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "verify/nowcast.hpp"
+#include "verify/scores.hpp"
+
+namespace bda::verify {
+namespace {
+
+RField2D blob(idx cx, idx cy, idx n = 32, real amp = 40.0f) {
+  RField2D f(n, n, 0);
+  f.fill(-20.0f);
+  for (idx i = cx - 2; i <= cx + 2; ++i)
+    for (idx j = cy - 2; j <= cy + 2; ++j)
+      if (i >= 0 && i < n && j >= 0 && j < n) f(i, j) = amp;
+  return f;
+}
+
+TEST(Nowcast, RecoversKnownTranslation) {
+  // Blob moves +3 cells in x, +1 in y over 60 s.
+  const auto t0 = blob(10, 16);
+  const auto t1 = blob(13, 17);
+  const auto mv = estimate_motion(t0, t1, {}, 60.0);
+  ASSERT_TRUE(mv.valid);
+  EXPECT_NEAR(mv.u * 60.0, 3.0, 0.01);
+  EXPECT_NEAR(mv.v * 60.0, 1.0, 0.01);
+}
+
+TEST(Nowcast, StationaryEchoGivesZeroMotion) {
+  const auto t0 = blob(16, 16);
+  const auto mv = estimate_motion(t0, t0, {}, 30.0);
+  ASSERT_TRUE(mv.valid);
+  EXPECT_EQ(mv.u, 0.0f);
+  EXPECT_EQ(mv.v, 0.0f);
+}
+
+TEST(Nowcast, NoEchoNoVector) {
+  RField2D empty(32, 32, 0);
+  empty.fill(-20.0f);
+  const auto mv = estimate_motion(empty, empty, {}, 30.0);
+  EXPECT_FALSE(mv.valid);
+}
+
+TEST(Nowcast, BlockBelowSignalThresholdSkipped) {
+  NowcastConfig cfg;
+  cfg.min_signal = 30.0f;
+  const auto weak = blob(16, 16, 32, 20.0f);  // below threshold
+  const auto mv = estimate_motion(weak, weak, cfg, 30.0);
+  EXPECT_FALSE(mv.valid);
+}
+
+TEST(Nowcast, AdvectionBeatsPersistenceForMovingStorm) {
+  // The reason nowcasts exist: for steadily translating echoes they win.
+  const auto t0 = blob(8, 16);
+  const auto t1 = blob(10, 16);                   // +2 cells / 30 s
+  const auto truth_at_lead = blob(18, 16);        // +10 cells at 150 s
+  const auto mv = estimate_motion(t0, t1, {}, 30.0);
+  const auto nc = advect_nowcast(t1, mv, 120.0);  // 4 more cells...
+  // t1 at 30 s; verify at 150 s = 120 s lead from t1: +8 cells -> 18. OK.
+  const double ts_now =
+      contingency(nc, truth_at_lead, 30.0f).threat_score();
+  const double ts_per =
+      contingency(t1, truth_at_lead, 30.0f).threat_score();
+  EXPECT_GT(ts_now, 0.9);
+  EXPECT_EQ(ts_per, 0.0);  // blob fully displaced from the frozen image
+}
+
+TEST(Nowcast, InvalidMotionFallsBackToPersistence) {
+  const auto t1 = blob(16, 16);
+  MotionVector none;  // invalid
+  const auto nc = advect_nowcast(t1, none, 600.0);
+  for (idx i = 1; i < 31; ++i)
+    for (idx j = 1; j < 31; ++j) EXPECT_NEAR(nc(i, j), t1(i, j), 1e-4f);
+}
+
+TEST(Nowcast, AdvectedInflowCarriesFill) {
+  const auto t1 = blob(16, 16);
+  MotionVector mv;
+  mv.u = 0.5f;  // cells/s: huge drift
+  mv.v = 0.0f;
+  mv.valid = true;
+  const auto nc = advect_nowcast(t1, mv, 60.0, -20.0f);
+  EXPECT_EQ(nc(0, 16), -20.0f);  // upstream edge is "no rain"
+}
+
+}  // namespace
+}  // namespace bda::verify

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "verify/persistence.hpp"
+#include "verify/scores.hpp"
+
+namespace bda::verify {
+namespace {
+
+RField2D blob_field(idx cx, idx cy, idx n = 16) {
+  RField2D f(n, n, 0);
+  f.fill(-20.0f);
+  for (idx i = cx - 1; i <= cx + 1; ++i)
+    for (idx j = cy - 1; j <= cy + 1; ++j) f(i, j) = 40.0f;
+  return f;
+}
+
+TEST(Persistence, PerfectAtLeadZero) {
+  // Fig 7: the persistence curve starts at threat score 1 by construction.
+  const auto obs0 = blob_field(8, 8);
+  PersistenceForecast p(obs0);
+  const auto c = contingency(p.at(0.0), obs0, 30.0f);
+  EXPECT_DOUBLE_EQ(c.threat_score(), 1.0);
+}
+
+TEST(Persistence, DoesNotEvolve) {
+  const auto obs0 = blob_field(8, 8);
+  PersistenceForecast p(obs0);
+  const auto& f1 = p.at(60.0);
+  const auto& f2 = p.at(1800.0);
+  for (idx i = 0; i < 16; ++i)
+    for (idx j = 0; j < 16; ++j) EXPECT_EQ(f1(i, j), f2(i, j));
+}
+
+TEST(Persistence, SkillDecaysAgainstMovingStorm) {
+  const auto obs0 = blob_field(4, 8);
+  PersistenceForecast p(obs0);
+  // Storm moves 2 cells east every "10 minutes".
+  const auto obs1 = blob_field(6, 8);
+  const auto obs2 = blob_field(10, 8);
+  const double ts0 = contingency(p.at(0), obs0, 30.0f).threat_score();
+  const double ts1 = contingency(p.at(600), obs1, 30.0f).threat_score();
+  const double ts2 = contingency(p.at(1800), obs2, 30.0f).threat_score();
+  EXPECT_DOUBLE_EQ(ts0, 1.0);
+  EXPECT_GT(ts1, ts2);
+  EXPECT_EQ(ts2, 0.0);  // fully displaced
+}
+
+TEST(Persistence, AdvectedVariantTracksSteeringWind) {
+  const auto obs0 = blob_field(4, 8);
+  PersistenceForecast p(obs0);
+  // Advection at 10 m/s east with dx = 500 m moves 2 cells in 100 s.
+  const auto adv = p.advected(100.0, 10.0f, 0.0f, 500.0f);
+  const auto obs_moved = blob_field(6, 8);
+  const double ts_adv = contingency(adv, obs_moved, 30.0f).threat_score();
+  const double ts_static =
+      contingency(p.at(100.0), obs_moved, 30.0f).threat_score();
+  EXPECT_GT(ts_adv, ts_static);
+  EXPECT_GT(ts_adv, 0.9);
+}
+
+TEST(Persistence, AdvectionFillsUpstreamWithNoRain) {
+  const auto obs0 = blob_field(8, 8);
+  PersistenceForecast p(obs0);
+  const auto adv = p.advected(1000.0, 10.0f, 0.0f, 500.0f, -20.0f);
+  // Everything advected out of the west edge: upstream cells carry fill.
+  EXPECT_EQ(adv(0, 8), -20.0f);
+  EXPECT_EQ(adv(1, 8), -20.0f);
+}
+
+TEST(Persistence, ZeroWindAdvectionIsIdentityInterior) {
+  const auto obs0 = blob_field(8, 8);
+  PersistenceForecast p(obs0);
+  const auto adv = p.advected(600.0, 0.0f, 0.0f, 500.0f);
+  for (idx i = 1; i < 15; ++i)
+    for (idx j = 1; j < 15; ++j) EXPECT_NEAR(adv(i, j), obs0(i, j), 1e-4f);
+}
+
+}  // namespace
+}  // namespace bda::verify

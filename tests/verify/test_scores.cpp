@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "verify/scores.hpp"
+
+namespace bda::verify {
+namespace {
+
+RField2D field_with(std::initializer_list<std::pair<int, int>> rainy,
+                    idx n = 8) {
+  RField2D f(n, n, 0);
+  f.fill(0.0f);
+  for (auto [i, j] : rainy) f(i, j) = 40.0f;
+  return f;
+}
+
+TEST(Contingency, PerfectForecastScoresOne) {
+  const auto obs = field_with({{1, 1}, {2, 2}, {3, 3}});
+  const auto c = contingency(obs, obs, 30.0f);
+  EXPECT_DOUBLE_EQ(c.threat_score(), 1.0);
+  EXPECT_DOUBLE_EQ(c.pod(), 1.0);
+  EXPECT_DOUBLE_EQ(c.far(), 0.0);
+  EXPECT_DOUBLE_EQ(c.bias(), 1.0);
+}
+
+TEST(Contingency, DisjointRainScoresZero) {
+  const auto fcst = field_with({{0, 0}, {0, 1}});
+  const auto obs = field_with({{7, 7}, {6, 7}});
+  const auto c = contingency(fcst, obs, 30.0f);
+  EXPECT_DOUBLE_EQ(c.threat_score(), 0.0);
+  EXPECT_DOUBLE_EQ(c.pod(), 0.0);
+  EXPECT_DOUBLE_EQ(c.far(), 1.0);
+}
+
+TEST(Contingency, NoEventAnywhereIsPerfectAgreement) {
+  const auto empty = field_with({});
+  const auto c = contingency(empty, empty, 30.0f);
+  EXPECT_DOUBLE_EQ(c.threat_score(), 1.0);
+  EXPECT_EQ(c.correct_negatives, 64u);
+}
+
+TEST(Contingency, PartialOverlapCounts) {
+  // fcst: (1,1),(1,2); obs: (1,2),(1,3) -> 1 hit, 1 miss, 1 false alarm.
+  const auto fcst = field_with({{1, 1}, {1, 2}});
+  const auto obs = field_with({{1, 2}, {1, 3}});
+  const auto c = contingency(fcst, obs, 30.0f);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.false_alarms, 1u);
+  EXPECT_DOUBLE_EQ(c.threat_score(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.pod(), 0.5);
+  EXPECT_DOUBLE_EQ(c.far(), 0.5);
+  EXPECT_DOUBLE_EQ(c.bias(), 1.0);
+}
+
+TEST(Contingency, ThresholdIsInclusive) {
+  RField2D f(2, 1, 0);
+  f(0, 0) = 30.0f;  // exactly at threshold: counts as event
+  f(1, 0) = 29.9f;
+  const auto c = contingency(f, f, 30.0f);
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.correct_negatives, 1u);
+}
+
+TEST(Contingency, MaskExcludesNoDataRegions) {
+  // Paper Fig 6b: hatched no-data areas are excluded from verification.
+  const auto fcst = field_with({{0, 0}});
+  const auto obs = field_with({{7, 7}});
+  Field2D<std::uint8_t> mask(8, 8, 0);
+  for (idx i = 0; i < 8; ++i)
+    for (idx j = 0; j < 8; ++j) mask(i, j) = 1;
+  mask(0, 0) = 0;  // forecast's false alarm is out of observed coverage
+  const auto c = contingency(fcst, obs, 30.0f, &mask);
+  EXPECT_EQ(c.false_alarms, 0u);
+  EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(Contingency, BiasDetectsOverforecasting) {
+  const auto fcst = field_with({{1, 1}, {1, 2}, {2, 1}, {2, 2}});
+  const auto obs = field_with({{1, 1}});
+  const auto c = contingency(fcst, obs, 30.0f);
+  EXPECT_DOUBLE_EQ(c.bias(), 4.0);
+}
+
+TEST(ExceedArea, CountsCells) {
+  const auto f = field_with({{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_EQ(exceed_area(f, 30.0f), 3u);
+  EXPECT_EQ(exceed_area(f, 50.0f), 0u);
+}
+
+TEST(Rmse, ZeroForIdenticalQuadraticOtherwise) {
+  RField2D a(4, 4, 0), b(4, 4, 0);
+  a.fill(1.0f);
+  b.fill(1.0f);
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
+  b.fill(3.0f);
+  EXPECT_DOUBLE_EQ(rmse(a, b), 2.0);
+}
+
+TEST(Rmse3, AveragesOverVolume) {
+  RField3D a(2, 2, 2, 0), b(2, 2, 2, 0);
+  b(0, 0, 0) = 4.0f;  // single deviation of 4 over 8 cells
+  EXPECT_NEAR(rmse3(a, b), std::sqrt(16.0 / 8.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace bda::verify

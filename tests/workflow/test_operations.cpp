@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workflow/operations.hpp"
+
+namespace bda::workflow {
+namespace {
+
+OperationSimulator make_sim(OperationConfig cfg = {}) {
+  return OperationSimulator(cfg, hpc::reference_calibration());
+}
+
+TEST(Operations, ProducesOneRecordPerCycle) {
+  auto sim = make_sim();
+  Rng rng(1);
+  const auto recs = sim.run(500, rng);
+  EXPECT_EQ(recs.size(), 500u);
+  for (std::size_t c = 0; c < recs.size(); ++c)
+    EXPECT_DOUBLE_EQ(recs[c].t_obs, 30.0 * double(c));
+}
+
+TEST(Operations, MostCyclesUnderThreeMinutes) {
+  // The paper's headline: ~97% of 75,248 forecasts within 3 minutes.
+  auto sim = make_sim();
+  Rng rng(2);
+  const auto recs = sim.run(5000, rng);
+  const auto sum = OperationSimulator::summarize(recs);
+  EXPECT_GT(sum.frac_under_3min, 0.90);
+  EXPECT_GT(sum.forecasts_produced, 3500u);  // rest: outages + rare skips
+  EXPECT_LT(sum.mean_tts, 180.0);
+}
+
+TEST(Operations, ComponentBreakdownMatchesPaperRegime) {
+  auto sim = make_sim();
+  Rng rng(3);
+  const auto recs = sim.run(2000, rng);
+  const auto sum = OperationSimulator::summarize(recs);
+  // JIT-DT ~3 s; LETKF O(10 s); 30-min forecast ~2 min (Sec. 7).
+  EXPECT_GT(sum.mean_jitdt, 1.0);
+  EXPECT_LT(sum.mean_jitdt, 6.0);
+  EXPECT_GT(sum.mean_letkf, 1.0);
+  EXPECT_LT(sum.mean_letkf, 40.0);
+  EXPECT_GT(sum.mean_fcst, 60.0);
+  EXPECT_LT(sum.mean_fcst, 200.0);
+}
+
+TEST(Operations, CycleForecastFitsInterval) {
+  auto sim = make_sim();
+  Rng rng(4);
+  const auto recs = sim.run(1000, rng);
+  for (const auto& r : recs) {
+    if (r.produced) {
+      EXPECT_LT(r.t_cycle_fcst, 30.0);
+    }
+  }
+}
+
+TEST(Operations, OutagesCreateGaps) {
+  OperationConfig cfg;
+  cfg.outages.mtbf_s = 3600.0;          // aggressive failure injection
+  cfg.outages.mean_duration_s = 1800.0;
+  auto sim = make_sim(cfg);
+  Rng rng(5);
+  const auto recs = sim.run(4000, rng);
+  std::size_t gaps = 0;
+  for (const auto& r : recs)
+    if (!r.produced) ++gaps;
+  EXPECT_GT(gaps, 100u);
+  const auto sum = OperationSimulator::summarize(recs);
+  EXPECT_EQ(sum.forecasts_produced + gaps, 4000u);
+}
+
+TEST(Operations, NoOutagesAlmostNoGaps) {
+  // Without failure injection the only gaps come from occasional slow
+  // cycles saturating the forecast scheduler — a small fraction.
+  OperationConfig cfg;
+  cfg.outages.mtbf_s = 1e12;
+  auto sim = make_sim(cfg);
+  Rng rng(6);
+  const auto recs = sim.run(2000, rng);
+  std::size_t gaps = 0;
+  for (const auto& r : recs)
+    if (!r.produced) ++gaps;
+  // A 3% slow-cycle rate can shadow neighbours (a 1.35x job blocks its
+  // group into the next turn), so allow up to ~10%.
+  EXPECT_LT(gaps, 200u);
+}
+
+TEST(Operations, NoOutagesNoSlowCyclesNoGaps) {
+  OperationConfig cfg;
+  cfg.outages.mtbf_s = 1e12;
+  cfg.slow_cycle_prob = 0.0;
+  cfg.jitter_frac = 0.0;
+  auto sim = make_sim(cfg);
+  Rng rng(6);
+  const auto recs = sim.run(1000, rng);
+  for (const auto& r : recs) EXPECT_TRUE(r.produced);
+}
+
+TEST(Operations, RainAreaModulatesLetkfTime) {
+  // "The more the rain area, the more the computation" (Sec. 7): the
+  // correlation between rain area and LETKF time must be positive.
+  auto sim = make_sim();
+  Rng rng(7);
+  const auto recs = sim.run(4000, rng);
+  double mx = 0, my = 0, n = 0;
+  for (const auto& r : recs)
+    if (r.produced) {
+      mx += r.rain_area_1mm;
+      my += r.t_letkf;
+      ++n;
+    }
+  mx /= n;
+  my /= n;
+  double cov = 0, vx = 0, vy = 0;
+  for (const auto& r : recs)
+    if (r.produced) {
+      cov += (r.rain_area_1mm - mx) * (r.t_letkf - my);
+      vx += (r.rain_area_1mm - mx) * (r.rain_area_1mm - mx);
+      vy += (r.t_letkf - my) * (r.t_letkf - my);
+    }
+  const double corr = cov / std::sqrt(vx * vy);
+  EXPECT_GT(corr, 0.5);
+}
+
+TEST(Operations, HeavyRainAreaIsFractionOfLight) {
+  auto sim = make_sim();
+  Rng rng(8);
+  const auto recs = sim.run(500, rng);
+  for (const auto& r : recs) {
+    EXPECT_GT(r.rain_area_1mm, 0.0);
+    EXPECT_LT(r.rain_area_20mm, r.rain_area_1mm);
+  }
+}
+
+TEST(Operations, SummaryPercentilesOrdered) {
+  auto sim = make_sim();
+  Rng rng(9);
+  const auto sum = OperationSimulator::summarize(sim.run(2000, rng));
+  EXPECT_LE(sum.p50_tts, sum.p97_tts);
+  EXPECT_LE(sum.p97_tts, sum.max_tts);
+  EXPECT_GT(sum.p50_tts, 0.0);
+  EXPECT_DOUBLE_EQ(sum.produced_seconds,
+                   30.0 * double(sum.forecasts_produced));
+}
+
+TEST(Operations, DeterministicForFixedSeed) {
+  auto sim = make_sim();
+  Rng rng1(77), rng2(77);
+  const auto a = sim.run(300, rng1);
+  const auto b = sim.run(300, rng2);
+  for (std::size_t c = 0; c < 300; ++c) {
+    EXPECT_EQ(a[c].produced, b[c].produced);
+    EXPECT_DOUBLE_EQ(a[c].tts, b[c].tts);
+  }
+}
+
+}  // namespace
+}  // namespace bda::workflow

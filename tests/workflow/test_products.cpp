@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "scale/reference.hpp"
+#include "util/binary_io.hpp"
+#include "workflow/products.hpp"
+
+namespace bda::workflow {
+namespace {
+
+namespace fs = std::filesystem;
+using scale::Grid;
+using scale::State;
+
+TEST(Products, WritesMapViewAndVolume) {
+  Grid g(8, 8, 6, 500.0f, 6000.0f);
+  const auto ref = scale::ReferenceState::build(g, scale::stable_sounding());
+  State s(g);
+  s.init_from_reference(g, ref);
+  s.rhoq[scale::QR](3, 4, 2) = s.dens(3, 4, 2) * 3e-3f;
+
+  const std::string dir =
+      (fs::temp_directory_path() / "bda_products_test").string();
+  fs::remove_all(dir);
+  const auto paths = write_products(dir, g, s, 1800.0);
+  ASSERT_TRUE(fs::exists(paths.map_view));
+  ASSERT_TRUE(fs::exists(paths.volume_3d));
+
+  // Map view holds the column-max reflectivity with the rain cell visible.
+  const auto map = read_bdf(paths.map_view);
+  ASSERT_EQ(map.size(), 1u);
+  EXPECT_EQ(map[0].name, "composite_dbz");
+  EXPECT_GT(map[0].data(3, 4, 0), 30.0f);
+  EXPECT_LT(map[0].data(0, 0, 0), 0.0f);
+
+  const auto vol = read_bdf(paths.volume_3d);
+  ASSERT_EQ(vol.size(), 1u);
+  EXPECT_EQ(vol[0].data.nz(), 6);
+  EXPECT_GT(vol[0].data(3, 4, 2), 30.0f);
+  fs::remove_all(dir);
+}
+
+RField3D dbz_volume(idx n, real background = -20.0f) {
+  RField3D f(n, n, n, 0);
+  f.fill(background);
+  return f;
+}
+
+TEST(RainCores, CountsSeparateCores) {
+  auto dbz = dbz_volume(10);
+  // Core A: 2x2x2 block; core B: single voxel, far away.
+  for (idx i = 1; i <= 2; ++i)
+    for (idx j = 1; j <= 2; ++j)
+      for (idx k = 1; k <= 2; ++k) dbz(i, j, k) = 45.0f;
+  dbz(8, 8, 8) = 50.0f;
+  const auto cores = rain_cores(dbz, 40.0f);
+  ASSERT_EQ(cores.size(), 2u);
+  EXPECT_EQ(cores[0], 8u);  // sorted largest first
+  EXPECT_EQ(cores[1], 1u);
+}
+
+TEST(RainCores, DiagonalNeighborsAreSeparate) {
+  auto dbz = dbz_volume(6);
+  dbz(1, 1, 1) = 45.0f;
+  dbz(2, 2, 2) = 45.0f;  // diagonal: not 6-connected
+  EXPECT_EQ(rain_cores(dbz, 40.0f).size(), 2u);
+  dbz(2, 1, 1) = 45.0f;
+  dbz(2, 2, 1) = 45.0f;  // bridge them
+  EXPECT_EQ(rain_cores(dbz, 40.0f).size(), 1u);
+}
+
+TEST(RainCores, ThresholdSelectsIntensity) {
+  auto dbz = dbz_volume(6);
+  dbz(1, 1, 1) = 35.0f;
+  dbz(4, 4, 4) = 55.0f;
+  EXPECT_EQ(rain_cores(dbz, 30.0f).size(), 2u);
+  EXPECT_EQ(rain_cores(dbz, 50.0f).size(), 1u);
+  EXPECT_TRUE(rain_cores(dbz, 60.0f).empty());
+}
+
+TEST(DbzShells, ProfileCountsPerLevelAndThreshold) {
+  auto dbz = dbz_volume(4);
+  // Level 1: two cells at 25 dBZ; level 2: one cell at 45 dBZ.
+  dbz(0, 0, 1) = 25.0f;
+  dbz(1, 1, 1) = 25.0f;
+  dbz(2, 2, 2) = 45.0f;
+  const auto prof = dbz_shell_profile(dbz, {10.0f, 20.0f, 30.0f, 40.0f});
+  ASSERT_EQ(prof.size(), 4u);
+  EXPECT_EQ(prof[0][1], 2u);  // >= 10 dBZ at level 1
+  EXPECT_EQ(prof[1][1], 2u);  // >= 20
+  EXPECT_EQ(prof[2][1], 0u);  // >= 30
+  EXPECT_EQ(prof[0][2], 1u);
+  EXPECT_EQ(prof[3][2], 1u);  // the 45-dBZ cell
+  EXPECT_EQ(prof[3][0], 0u);
+}
+
+}  // namespace
+}  // namespace bda::workflow
