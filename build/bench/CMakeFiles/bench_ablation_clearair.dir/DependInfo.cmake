@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_clearair.cpp" "bench/CMakeFiles/bench_ablation_clearair.dir/bench_ablation_clearair.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_clearair.dir/bench_ablation_clearair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/bda_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/letkf/CMakeFiles/bda_letkf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pawr/CMakeFiles/bda_pawr.dir/DependInfo.cmake"
+  "/root/repo/build/src/jitdt/CMakeFiles/bda_jitdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/bda_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/bda_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/scale/CMakeFiles/bda_scale.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clearair.dir/bench_ablation_clearair.cpp.o"
+  "CMakeFiles/bench_ablation_clearair.dir/bench_ablation_clearair.cpp.o.d"
+  "bench_ablation_clearair"
+  "bench_ablation_clearair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clearair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

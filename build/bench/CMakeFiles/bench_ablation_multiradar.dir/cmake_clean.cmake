@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiradar.dir/bench_ablation_multiradar.cpp.o"
+  "CMakeFiles/bench_ablation_multiradar.dir/bench_ablation_multiradar.cpp.o.d"
+  "bench_ablation_multiradar"
+  "bench_ablation_multiradar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiradar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

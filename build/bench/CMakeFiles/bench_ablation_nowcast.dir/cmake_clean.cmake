@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nowcast.dir/bench_ablation_nowcast.cpp.o"
+  "CMakeFiles/bench_ablation_nowcast.dir/bench_ablation_nowcast.cpp.o.d"
+  "bench_ablation_nowcast"
+  "bench_ablation_nowcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nowcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_operations.dir/bench_fig5_operations.cpp.o"
+  "CMakeFiles/bench_fig5_operations.dir/bench_fig5_operations.cpp.o.d"
+  "bench_fig5_operations"
+  "bench_fig5_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

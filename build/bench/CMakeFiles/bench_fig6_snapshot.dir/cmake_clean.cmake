@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_snapshot.dir/bench_fig6_snapshot.cpp.o"
+  "CMakeFiles/bench_fig6_snapshot.dir/bench_fig6_snapshot.cpp.o.d"
+  "bench_fig6_snapshot"
+  "bench_fig6_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

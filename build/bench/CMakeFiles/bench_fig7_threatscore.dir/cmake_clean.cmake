@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_threatscore.dir/bench_fig7_threatscore.cpp.o"
+  "CMakeFiles/bench_fig7_threatscore.dir/bench_fig7_threatscore.cpp.o.d"
+  "bench_fig7_threatscore"
+  "bench_fig7_threatscore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_threatscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

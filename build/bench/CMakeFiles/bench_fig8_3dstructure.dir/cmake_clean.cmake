@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_3dstructure.dir/bench_fig8_3dstructure.cpp.o"
+  "CMakeFiles/bench_fig8_3dstructure.dir/bench_fig8_3dstructure.cpp.o.d"
+  "bench_fig8_3dstructure"
+  "bench_fig8_3dstructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_3dstructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_scale_settings.dir/bench_table3_scale_settings.cpp.o"
+  "CMakeFiles/bench_table3_scale_settings.dir/bench_table3_scale_settings.cpp.o.d"
+  "bench_table3_scale_settings"
+  "bench_table3_scale_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_scale_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

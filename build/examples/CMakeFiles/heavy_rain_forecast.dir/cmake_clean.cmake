@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_rain_forecast.dir/heavy_rain_forecast.cpp.o"
+  "CMakeFiles/heavy_rain_forecast.dir/heavy_rain_forecast.cpp.o.d"
+  "heavy_rain_forecast"
+  "heavy_rain_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_rain_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_files.dir/inspect_files.cpp.o"
+  "CMakeFiles/inspect_files.dir/inspect_files.cpp.o.d"
+  "inspect_files"
+  "inspect_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operational_campaign.dir/operational_campaign.cpp.o"
+  "CMakeFiles/operational_campaign.dir/operational_campaign.cpp.o.d"
+  "operational_campaign"
+  "operational_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operational_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_to_fugaku.dir/radar_to_fugaku.cpp.o"
+  "CMakeFiles/radar_to_fugaku.dir/radar_to_fugaku.cpp.o.d"
+  "radar_to_fugaku"
+  "radar_to_fugaku.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_to_fugaku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

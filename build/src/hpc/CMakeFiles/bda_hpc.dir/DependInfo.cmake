@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpc/comm.cpp" "src/hpc/CMakeFiles/bda_hpc.dir/comm.cpp.o" "gcc" "src/hpc/CMakeFiles/bda_hpc.dir/comm.cpp.o.d"
+  "/root/repo/src/hpc/domain_decomp.cpp" "src/hpc/CMakeFiles/bda_hpc.dir/domain_decomp.cpp.o" "gcc" "src/hpc/CMakeFiles/bda_hpc.dir/domain_decomp.cpp.o.d"
+  "/root/repo/src/hpc/perf_model.cpp" "src/hpc/CMakeFiles/bda_hpc.dir/perf_model.cpp.o" "gcc" "src/hpc/CMakeFiles/bda_hpc.dir/perf_model.cpp.o.d"
+  "/root/repo/src/hpc/scheduler.cpp" "src/hpc/CMakeFiles/bda_hpc.dir/scheduler.cpp.o" "gcc" "src/hpc/CMakeFiles/bda_hpc.dir/scheduler.cpp.o.d"
+  "/root/repo/src/hpc/transport.cpp" "src/hpc/CMakeFiles/bda_hpc.dir/transport.cpp.o" "gcc" "src/hpc/CMakeFiles/bda_hpc.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scale/CMakeFiles/bda_scale.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bda_hpc.dir/comm.cpp.o"
+  "CMakeFiles/bda_hpc.dir/comm.cpp.o.d"
+  "CMakeFiles/bda_hpc.dir/domain_decomp.cpp.o"
+  "CMakeFiles/bda_hpc.dir/domain_decomp.cpp.o.d"
+  "CMakeFiles/bda_hpc.dir/perf_model.cpp.o"
+  "CMakeFiles/bda_hpc.dir/perf_model.cpp.o.d"
+  "CMakeFiles/bda_hpc.dir/scheduler.cpp.o"
+  "CMakeFiles/bda_hpc.dir/scheduler.cpp.o.d"
+  "CMakeFiles/bda_hpc.dir/transport.cpp.o"
+  "CMakeFiles/bda_hpc.dir/transport.cpp.o.d"
+  "libbda_hpc.a"
+  "libbda_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bda_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

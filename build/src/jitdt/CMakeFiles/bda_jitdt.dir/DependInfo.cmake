@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jitdt/transfer.cpp" "src/jitdt/CMakeFiles/bda_jitdt.dir/transfer.cpp.o" "gcc" "src/jitdt/CMakeFiles/bda_jitdt.dir/transfer.cpp.o.d"
+  "/root/repo/src/jitdt/watcher.cpp" "src/jitdt/CMakeFiles/bda_jitdt.dir/watcher.cpp.o" "gcc" "src/jitdt/CMakeFiles/bda_jitdt.dir/watcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bda_jitdt.dir/transfer.cpp.o"
+  "CMakeFiles/bda_jitdt.dir/transfer.cpp.o.d"
+  "CMakeFiles/bda_jitdt.dir/watcher.cpp.o"
+  "CMakeFiles/bda_jitdt.dir/watcher.cpp.o.d"
+  "libbda_jitdt.a"
+  "libbda_jitdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bda_jitdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbda_jitdt.a"
+)

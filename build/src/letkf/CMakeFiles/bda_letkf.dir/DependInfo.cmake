@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/letkf/adaptive_inflation.cpp" "src/letkf/CMakeFiles/bda_letkf.dir/adaptive_inflation.cpp.o" "gcc" "src/letkf/CMakeFiles/bda_letkf.dir/adaptive_inflation.cpp.o.d"
+  "/root/repo/src/letkf/letkf.cpp" "src/letkf/CMakeFiles/bda_letkf.dir/letkf.cpp.o" "gcc" "src/letkf/CMakeFiles/bda_letkf.dir/letkf.cpp.o.d"
+  "/root/repo/src/letkf/localization.cpp" "src/letkf/CMakeFiles/bda_letkf.dir/localization.cpp.o" "gcc" "src/letkf/CMakeFiles/bda_letkf.dir/localization.cpp.o.d"
+  "/root/repo/src/letkf/obsop.cpp" "src/letkf/CMakeFiles/bda_letkf.dir/obsop.cpp.o" "gcc" "src/letkf/CMakeFiles/bda_letkf.dir/obsop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scale/CMakeFiles/bda_scale.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bda_letkf.dir/adaptive_inflation.cpp.o"
+  "CMakeFiles/bda_letkf.dir/adaptive_inflation.cpp.o.d"
+  "CMakeFiles/bda_letkf.dir/letkf.cpp.o"
+  "CMakeFiles/bda_letkf.dir/letkf.cpp.o.d"
+  "CMakeFiles/bda_letkf.dir/localization.cpp.o"
+  "CMakeFiles/bda_letkf.dir/localization.cpp.o.d"
+  "CMakeFiles/bda_letkf.dir/obsop.cpp.o"
+  "CMakeFiles/bda_letkf.dir/obsop.cpp.o.d"
+  "libbda_letkf.a"
+  "libbda_letkf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bda_letkf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bda_letkf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pawr/datafile.cpp" "src/pawr/CMakeFiles/bda_pawr.dir/datafile.cpp.o" "gcc" "src/pawr/CMakeFiles/bda_pawr.dir/datafile.cpp.o.d"
+  "/root/repo/src/pawr/forward.cpp" "src/pawr/CMakeFiles/bda_pawr.dir/forward.cpp.o" "gcc" "src/pawr/CMakeFiles/bda_pawr.dir/forward.cpp.o.d"
+  "/root/repo/src/pawr/obsgen.cpp" "src/pawr/CMakeFiles/bda_pawr.dir/obsgen.cpp.o" "gcc" "src/pawr/CMakeFiles/bda_pawr.dir/obsgen.cpp.o.d"
+  "/root/repo/src/pawr/scan.cpp" "src/pawr/CMakeFiles/bda_pawr.dir/scan.cpp.o" "gcc" "src/pawr/CMakeFiles/bda_pawr.dir/scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scale/CMakeFiles/bda_scale.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

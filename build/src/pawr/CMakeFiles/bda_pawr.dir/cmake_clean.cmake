@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bda_pawr.dir/datafile.cpp.o"
+  "CMakeFiles/bda_pawr.dir/datafile.cpp.o.d"
+  "CMakeFiles/bda_pawr.dir/forward.cpp.o"
+  "CMakeFiles/bda_pawr.dir/forward.cpp.o.d"
+  "CMakeFiles/bda_pawr.dir/obsgen.cpp.o"
+  "CMakeFiles/bda_pawr.dir/obsgen.cpp.o.d"
+  "CMakeFiles/bda_pawr.dir/scan.cpp.o"
+  "CMakeFiles/bda_pawr.dir/scan.cpp.o.d"
+  "libbda_pawr.a"
+  "libbda_pawr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bda_pawr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scale/boundary.cpp" "src/scale/CMakeFiles/bda_scale.dir/boundary.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/boundary.cpp.o.d"
+  "/root/repo/src/scale/boundary_layer.cpp" "src/scale/CMakeFiles/bda_scale.dir/boundary_layer.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/boundary_layer.cpp.o.d"
+  "/root/repo/src/scale/diagnostics.cpp" "src/scale/CMakeFiles/bda_scale.dir/diagnostics.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/scale/dynamics.cpp" "src/scale/CMakeFiles/bda_scale.dir/dynamics.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/dynamics.cpp.o.d"
+  "/root/repo/src/scale/ensemble.cpp" "src/scale/CMakeFiles/bda_scale.dir/ensemble.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/ensemble.cpp.o.d"
+  "/root/repo/src/scale/grid.cpp" "src/scale/CMakeFiles/bda_scale.dir/grid.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/grid.cpp.o.d"
+  "/root/repo/src/scale/microphysics.cpp" "src/scale/CMakeFiles/bda_scale.dir/microphysics.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/microphysics.cpp.o.d"
+  "/root/repo/src/scale/model.cpp" "src/scale/CMakeFiles/bda_scale.dir/model.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/model.cpp.o.d"
+  "/root/repo/src/scale/radiation.cpp" "src/scale/CMakeFiles/bda_scale.dir/radiation.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/radiation.cpp.o.d"
+  "/root/repo/src/scale/reference.cpp" "src/scale/CMakeFiles/bda_scale.dir/reference.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/reference.cpp.o.d"
+  "/root/repo/src/scale/state.cpp" "src/scale/CMakeFiles/bda_scale.dir/state.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/state.cpp.o.d"
+  "/root/repo/src/scale/surface.cpp" "src/scale/CMakeFiles/bda_scale.dir/surface.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/surface.cpp.o.d"
+  "/root/repo/src/scale/turbulence.cpp" "src/scale/CMakeFiles/bda_scale.dir/turbulence.cpp.o" "gcc" "src/scale/CMakeFiles/bda_scale.dir/turbulence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

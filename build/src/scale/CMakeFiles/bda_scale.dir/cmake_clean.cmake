@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bda_scale.dir/boundary.cpp.o"
+  "CMakeFiles/bda_scale.dir/boundary.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/boundary_layer.cpp.o"
+  "CMakeFiles/bda_scale.dir/boundary_layer.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/diagnostics.cpp.o"
+  "CMakeFiles/bda_scale.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/dynamics.cpp.o"
+  "CMakeFiles/bda_scale.dir/dynamics.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/ensemble.cpp.o"
+  "CMakeFiles/bda_scale.dir/ensemble.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/grid.cpp.o"
+  "CMakeFiles/bda_scale.dir/grid.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/microphysics.cpp.o"
+  "CMakeFiles/bda_scale.dir/microphysics.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/model.cpp.o"
+  "CMakeFiles/bda_scale.dir/model.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/radiation.cpp.o"
+  "CMakeFiles/bda_scale.dir/radiation.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/reference.cpp.o"
+  "CMakeFiles/bda_scale.dir/reference.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/state.cpp.o"
+  "CMakeFiles/bda_scale.dir/state.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/surface.cpp.o"
+  "CMakeFiles/bda_scale.dir/surface.cpp.o.d"
+  "CMakeFiles/bda_scale.dir/turbulence.cpp.o"
+  "CMakeFiles/bda_scale.dir/turbulence.cpp.o.d"
+  "libbda_scale.a"
+  "libbda_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bda_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

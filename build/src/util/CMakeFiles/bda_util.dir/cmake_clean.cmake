@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bda_util.dir/ascii_render.cpp.o"
+  "CMakeFiles/bda_util.dir/ascii_render.cpp.o.d"
+  "CMakeFiles/bda_util.dir/binary_io.cpp.o"
+  "CMakeFiles/bda_util.dir/binary_io.cpp.o.d"
+  "CMakeFiles/bda_util.dir/codec.cpp.o"
+  "CMakeFiles/bda_util.dir/codec.cpp.o.d"
+  "CMakeFiles/bda_util.dir/config.cpp.o"
+  "CMakeFiles/bda_util.dir/config.cpp.o.d"
+  "CMakeFiles/bda_util.dir/logging.cpp.o"
+  "CMakeFiles/bda_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bda_util.dir/rng.cpp.o"
+  "CMakeFiles/bda_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bda_util.dir/stats.cpp.o"
+  "CMakeFiles/bda_util.dir/stats.cpp.o.d"
+  "libbda_util.a"
+  "libbda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbda_util.a"
+)

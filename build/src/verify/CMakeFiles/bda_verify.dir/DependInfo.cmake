@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/ensemble_stats.cpp" "src/verify/CMakeFiles/bda_verify.dir/ensemble_stats.cpp.o" "gcc" "src/verify/CMakeFiles/bda_verify.dir/ensemble_stats.cpp.o.d"
+  "/root/repo/src/verify/nowcast.cpp" "src/verify/CMakeFiles/bda_verify.dir/nowcast.cpp.o" "gcc" "src/verify/CMakeFiles/bda_verify.dir/nowcast.cpp.o.d"
+  "/root/repo/src/verify/persistence.cpp" "src/verify/CMakeFiles/bda_verify.dir/persistence.cpp.o" "gcc" "src/verify/CMakeFiles/bda_verify.dir/persistence.cpp.o.d"
+  "/root/repo/src/verify/scores.cpp" "src/verify/CMakeFiles/bda_verify.dir/scores.cpp.o" "gcc" "src/verify/CMakeFiles/bda_verify.dir/scores.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

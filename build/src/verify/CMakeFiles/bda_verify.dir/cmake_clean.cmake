@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bda_verify.dir/ensemble_stats.cpp.o"
+  "CMakeFiles/bda_verify.dir/ensemble_stats.cpp.o.d"
+  "CMakeFiles/bda_verify.dir/nowcast.cpp.o"
+  "CMakeFiles/bda_verify.dir/nowcast.cpp.o.d"
+  "CMakeFiles/bda_verify.dir/persistence.cpp.o"
+  "CMakeFiles/bda_verify.dir/persistence.cpp.o.d"
+  "CMakeFiles/bda_verify.dir/scores.cpp.o"
+  "CMakeFiles/bda_verify.dir/scores.cpp.o.d"
+  "libbda_verify.a"
+  "libbda_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bda_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/checkpoint.cpp" "src/workflow/CMakeFiles/bda_workflow.dir/checkpoint.cpp.o" "gcc" "src/workflow/CMakeFiles/bda_workflow.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/workflow/cycle.cpp" "src/workflow/CMakeFiles/bda_workflow.dir/cycle.cpp.o" "gcc" "src/workflow/CMakeFiles/bda_workflow.dir/cycle.cpp.o.d"
+  "/root/repo/src/workflow/operations.cpp" "src/workflow/CMakeFiles/bda_workflow.dir/operations.cpp.o" "gcc" "src/workflow/CMakeFiles/bda_workflow.dir/operations.cpp.o.d"
+  "/root/repo/src/workflow/products.cpp" "src/workflow/CMakeFiles/bda_workflow.dir/products.cpp.o" "gcc" "src/workflow/CMakeFiles/bda_workflow.dir/products.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scale/CMakeFiles/bda_scale.dir/DependInfo.cmake"
+  "/root/repo/build/src/letkf/CMakeFiles/bda_letkf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pawr/CMakeFiles/bda_pawr.dir/DependInfo.cmake"
+  "/root/repo/build/src/jitdt/CMakeFiles/bda_jitdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/bda_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/bda_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

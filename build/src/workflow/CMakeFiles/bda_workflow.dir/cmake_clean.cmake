@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bda_workflow.dir/checkpoint.cpp.o"
+  "CMakeFiles/bda_workflow.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/bda_workflow.dir/cycle.cpp.o"
+  "CMakeFiles/bda_workflow.dir/cycle.cpp.o.d"
+  "CMakeFiles/bda_workflow.dir/operations.cpp.o"
+  "CMakeFiles/bda_workflow.dir/operations.cpp.o.d"
+  "CMakeFiles/bda_workflow.dir/products.cpp.o"
+  "CMakeFiles/bda_workflow.dir/products.cpp.o.d"
+  "libbda_workflow.a"
+  "libbda_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bda_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpc.dir/hpc/test_comm.cpp.o"
+  "CMakeFiles/test_hpc.dir/hpc/test_comm.cpp.o.d"
+  "CMakeFiles/test_hpc.dir/hpc/test_domain_decomp.cpp.o"
+  "CMakeFiles/test_hpc.dir/hpc/test_domain_decomp.cpp.o.d"
+  "CMakeFiles/test_hpc.dir/hpc/test_perf_model.cpp.o"
+  "CMakeFiles/test_hpc.dir/hpc/test_perf_model.cpp.o.d"
+  "CMakeFiles/test_hpc.dir/hpc/test_scheduler.cpp.o"
+  "CMakeFiles/test_hpc.dir/hpc/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_hpc.dir/hpc/test_transport.cpp.o"
+  "CMakeFiles/test_hpc.dir/hpc/test_transport.cpp.o.d"
+  "test_hpc"
+  "test_hpc.pdb"
+  "test_hpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

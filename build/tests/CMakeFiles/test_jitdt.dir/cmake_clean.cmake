@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jitdt.dir/jitdt/test_transfer.cpp.o"
+  "CMakeFiles/test_jitdt.dir/jitdt/test_transfer.cpp.o.d"
+  "CMakeFiles/test_jitdt.dir/jitdt/test_watcher.cpp.o"
+  "CMakeFiles/test_jitdt.dir/jitdt/test_watcher.cpp.o.d"
+  "test_jitdt"
+  "test_jitdt.pdb"
+  "test_jitdt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jitdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/letkf/test_adaptive_inflation.cpp" "tests/CMakeFiles/test_letkf.dir/letkf/test_adaptive_inflation.cpp.o" "gcc" "tests/CMakeFiles/test_letkf.dir/letkf/test_adaptive_inflation.cpp.o.d"
+  "/root/repo/tests/letkf/test_eigen.cpp" "tests/CMakeFiles/test_letkf.dir/letkf/test_eigen.cpp.o" "gcc" "tests/CMakeFiles/test_letkf.dir/letkf/test_eigen.cpp.o.d"
+  "/root/repo/tests/letkf/test_letkf.cpp" "tests/CMakeFiles/test_letkf.dir/letkf/test_letkf.cpp.o" "gcc" "tests/CMakeFiles/test_letkf.dir/letkf/test_letkf.cpp.o.d"
+  "/root/repo/tests/letkf/test_letkf_core.cpp" "tests/CMakeFiles/test_letkf.dir/letkf/test_letkf_core.cpp.o" "gcc" "tests/CMakeFiles/test_letkf.dir/letkf/test_letkf_core.cpp.o.d"
+  "/root/repo/tests/letkf/test_letkf_properties.cpp" "tests/CMakeFiles/test_letkf.dir/letkf/test_letkf_properties.cpp.o" "gcc" "tests/CMakeFiles/test_letkf.dir/letkf/test_letkf_properties.cpp.o.d"
+  "/root/repo/tests/letkf/test_localization.cpp" "tests/CMakeFiles/test_letkf.dir/letkf/test_localization.cpp.o" "gcc" "tests/CMakeFiles/test_letkf.dir/letkf/test_localization.cpp.o.d"
+  "/root/repo/tests/letkf/test_obsop.cpp" "tests/CMakeFiles/test_letkf.dir/letkf/test_obsop.cpp.o" "gcc" "tests/CMakeFiles/test_letkf.dir/letkf/test_obsop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/bda_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/letkf/CMakeFiles/bda_letkf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pawr/CMakeFiles/bda_pawr.dir/DependInfo.cmake"
+  "/root/repo/build/src/jitdt/CMakeFiles/bda_jitdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/bda_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/bda_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/scale/CMakeFiles/bda_scale.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

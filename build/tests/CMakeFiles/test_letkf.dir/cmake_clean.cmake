@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_letkf.dir/letkf/test_adaptive_inflation.cpp.o"
+  "CMakeFiles/test_letkf.dir/letkf/test_adaptive_inflation.cpp.o.d"
+  "CMakeFiles/test_letkf.dir/letkf/test_eigen.cpp.o"
+  "CMakeFiles/test_letkf.dir/letkf/test_eigen.cpp.o.d"
+  "CMakeFiles/test_letkf.dir/letkf/test_letkf.cpp.o"
+  "CMakeFiles/test_letkf.dir/letkf/test_letkf.cpp.o.d"
+  "CMakeFiles/test_letkf.dir/letkf/test_letkf_core.cpp.o"
+  "CMakeFiles/test_letkf.dir/letkf/test_letkf_core.cpp.o.d"
+  "CMakeFiles/test_letkf.dir/letkf/test_letkf_properties.cpp.o"
+  "CMakeFiles/test_letkf.dir/letkf/test_letkf_properties.cpp.o.d"
+  "CMakeFiles/test_letkf.dir/letkf/test_localization.cpp.o"
+  "CMakeFiles/test_letkf.dir/letkf/test_localization.cpp.o.d"
+  "CMakeFiles/test_letkf.dir/letkf/test_obsop.cpp.o"
+  "CMakeFiles/test_letkf.dir/letkf/test_obsop.cpp.o.d"
+  "test_letkf"
+  "test_letkf.pdb"
+  "test_letkf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_letkf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

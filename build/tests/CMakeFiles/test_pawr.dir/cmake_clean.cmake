@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pawr.dir/pawr/test_datafile.cpp.o"
+  "CMakeFiles/test_pawr.dir/pawr/test_datafile.cpp.o.d"
+  "CMakeFiles/test_pawr.dir/pawr/test_forward.cpp.o"
+  "CMakeFiles/test_pawr.dir/pawr/test_forward.cpp.o.d"
+  "CMakeFiles/test_pawr.dir/pawr/test_obsgen.cpp.o"
+  "CMakeFiles/test_pawr.dir/pawr/test_obsgen.cpp.o.d"
+  "CMakeFiles/test_pawr.dir/pawr/test_scan.cpp.o"
+  "CMakeFiles/test_pawr.dir/pawr/test_scan.cpp.o.d"
+  "test_pawr"
+  "test_pawr.pdb"
+  "test_pawr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pawr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

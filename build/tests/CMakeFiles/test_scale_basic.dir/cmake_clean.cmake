@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_basic.dir/scale/test_diagnostics.cpp.o"
+  "CMakeFiles/test_scale_basic.dir/scale/test_diagnostics.cpp.o.d"
+  "CMakeFiles/test_scale_basic.dir/scale/test_grid.cpp.o"
+  "CMakeFiles/test_scale_basic.dir/scale/test_grid.cpp.o.d"
+  "CMakeFiles/test_scale_basic.dir/scale/test_kernels.cpp.o"
+  "CMakeFiles/test_scale_basic.dir/scale/test_kernels.cpp.o.d"
+  "CMakeFiles/test_scale_basic.dir/scale/test_reference.cpp.o"
+  "CMakeFiles/test_scale_basic.dir/scale/test_reference.cpp.o.d"
+  "CMakeFiles/test_scale_basic.dir/scale/test_state.cpp.o"
+  "CMakeFiles/test_scale_basic.dir/scale/test_state.cpp.o.d"
+  "test_scale_basic"
+  "test_scale_basic.pdb"
+  "test_scale_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

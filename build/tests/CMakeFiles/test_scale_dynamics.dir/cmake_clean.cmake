@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_dynamics.dir/scale/test_dynamics.cpp.o"
+  "CMakeFiles/test_scale_dynamics.dir/scale/test_dynamics.cpp.o.d"
+  "CMakeFiles/test_scale_dynamics.dir/scale/test_dynamics_sweep.cpp.o"
+  "CMakeFiles/test_scale_dynamics.dir/scale/test_dynamics_sweep.cpp.o.d"
+  "test_scale_dynamics"
+  "test_scale_dynamics.pdb"
+  "test_scale_dynamics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

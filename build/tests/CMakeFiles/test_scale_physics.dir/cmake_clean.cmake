@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_physics.dir/scale/test_boundary.cpp.o"
+  "CMakeFiles/test_scale_physics.dir/scale/test_boundary.cpp.o.d"
+  "CMakeFiles/test_scale_physics.dir/scale/test_ensemble.cpp.o"
+  "CMakeFiles/test_scale_physics.dir/scale/test_ensemble.cpp.o.d"
+  "CMakeFiles/test_scale_physics.dir/scale/test_microphysics.cpp.o"
+  "CMakeFiles/test_scale_physics.dir/scale/test_microphysics.cpp.o.d"
+  "CMakeFiles/test_scale_physics.dir/scale/test_physics.cpp.o"
+  "CMakeFiles/test_scale_physics.dir/scale/test_physics.cpp.o.d"
+  "test_scale_physics"
+  "test_scale_physics.pdb"
+  "test_scale_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

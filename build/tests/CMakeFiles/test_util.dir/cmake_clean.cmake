@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_ascii_render.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_ascii_render.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_binary_io.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_binary_io.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_codec.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_codec.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_config.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_config.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_field.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_field.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_logging.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_logging.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

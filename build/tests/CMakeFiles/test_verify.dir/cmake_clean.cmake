@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify.dir/verify/test_ensemble_stats.cpp.o"
+  "CMakeFiles/test_verify.dir/verify/test_ensemble_stats.cpp.o.d"
+  "CMakeFiles/test_verify.dir/verify/test_fss.cpp.o"
+  "CMakeFiles/test_verify.dir/verify/test_fss.cpp.o.d"
+  "CMakeFiles/test_verify.dir/verify/test_nowcast.cpp.o"
+  "CMakeFiles/test_verify.dir/verify/test_nowcast.cpp.o.d"
+  "CMakeFiles/test_verify.dir/verify/test_persistence.cpp.o"
+  "CMakeFiles/test_verify.dir/verify/test_persistence.cpp.o.d"
+  "CMakeFiles/test_verify.dir/verify/test_scores.cpp.o"
+  "CMakeFiles/test_verify.dir/verify/test_scores.cpp.o.d"
+  "test_verify"
+  "test_verify.pdb"
+  "test_verify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

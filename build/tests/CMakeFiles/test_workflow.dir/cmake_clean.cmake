@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow.dir/workflow/test_checkpoint.cpp.o"
+  "CMakeFiles/test_workflow.dir/workflow/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_workflow.dir/workflow/test_operations.cpp.o"
+  "CMakeFiles/test_workflow.dir/workflow/test_operations.cpp.o.d"
+  "CMakeFiles/test_workflow.dir/workflow/test_products.cpp.o"
+  "CMakeFiles/test_workflow.dir/workflow/test_products.cpp.o.d"
+  "test_workflow"
+  "test_workflow.pdb"
+  "test_workflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

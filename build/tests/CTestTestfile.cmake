@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_scale_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_scale_dynamics[1]_include.cmake")
+include("/root/repo/build/tests/test_scale_physics[1]_include.cmake")
+include("/root/repo/build/tests/test_letkf[1]_include.cmake")
+include("/root/repo/build/tests/test_pawr[1]_include.cmake")
+include("/root/repo/build/tests/test_hpc[1]_include.cmake")
+include("/root/repo/build/tests/test_jitdt[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
