@@ -46,7 +46,7 @@ int main() {
   auto spurious_qr = [&] {
     const auto mean = sys->ensemble().mean();
     double q = 0;
-    for (idx k = 1; k <= 4; ++k) q += mean.q(scale::QR, 4, 4, k);
+    for (idx k = 1; k <= 4; ++k) q += double(mean.q(scale::QR, 4, 4, k));
     return q;
   };
 

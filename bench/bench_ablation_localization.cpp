@@ -63,7 +63,7 @@ int main() {
             .count();
     const double rmse_a = qr_rmse();
     std::printf("  %6.1f km | %.3e | %5.1f%% | %9.1f | %8zu | %5.2fs%s\n",
-                loc / 1000.0f, rmse_a, 100.0 * (rmse_a / rmse_b - 1.0),
+                double(loc) / 1000.0, rmse_a, 100.0 * (rmse_a / rmse_b - 1.0),
                 stats.mean_local_obs, stats.n_grid_updated, dt,
                 loc == 2000.0f ? "   <- Table 2 value" : "");
   }

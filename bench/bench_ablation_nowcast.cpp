@@ -33,7 +33,8 @@ int main() {
   const auto motion =
       verify::estimate_motion(obs_prev, obs_now, {}, cfg.cycle_s);
   std::printf("estimated echo motion: %.2f, %.2f cells/min (valid=%s)\n",
-              motion.u * 60.0, motion.v * 60.0, motion.valid ? "yes" : "no");
+              double(motion.u) * 60.0, double(motion.v) * 60.0,
+              motion.valid ? "yes" : "no");
 
   // Truth and BDA forecast trajectories from the analysis time.
   scale::Model truth(sys->grid(), scale::convective_sounding(), cfg.model);

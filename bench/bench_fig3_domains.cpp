@@ -26,13 +26,13 @@ int main() {
     std::printf("  outer: %lldx%lldx%lld at %.1f km (%.0f km square), 2002 "
                 "nodes, 3-h refresh, <=9-h forecasts\n",
                 (long long)outer.nx(), (long long)outer.ny(),
-                (long long)outer.nz(), outer.dx() / 1000.0,
-                outer.extent_x() / 1000.0);
+                (long long)outer.nz(), double(outer.dx()) / 1000.0,
+                double(outer.extent_x()) / 1000.0);
     std::printf("  inner: %lldx%lldx%lld at %.1f km (%.0f km square), 8888 "
                 "nodes, 30-s cycle\n",
                 (long long)inner.nx(), (long long)inner.ny(),
-                (long long)inner.nz(), inner.dx() / 1000.0,
-                inner.extent_x() / 1000.0);
+                (long long)inner.nz(), double(inner.dx()) / 1000.0,
+                double(inner.extent_x()) / 1000.0);
     std::printf("  dependencies: JMA 5-km (3-h) -> outer 1000-member (3-h) "
                 "-> inner boundary (30-s cycle) -> LETKF <1-1> -> <1-2>/<2>\n");
   }

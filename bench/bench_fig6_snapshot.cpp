@@ -70,7 +70,7 @@ int main() {
     const auto c = verify::contingency(fcst, obs, thresh, &mask);
     std::printf("threshold %2.0f dBZ: threat=%.3f pod=%.3f far=%.3f "
                 "bias=%.2f (hits=%zu miss=%zu fa=%zu)\n",
-                thresh, c.threat_score(), c.pod(), c.far(), c.bias(), c.hits,
+                double(thresh), c.threat_score(), c.pod(), c.far(), c.bias(), c.hits,
                 c.misses, c.false_alarms);
   }
   std::printf("rmse (covered area excluded from paper comparison): %.2f dBZ\n",

@@ -65,7 +65,8 @@ int main() {
     std::printf("  case %d scored (init t = %.0f s)\n", cs + 1, sys->time());
   }
 
-  std::printf("\nthreat score (>= %.0f dBZ), average of %d cases:\n", thresh,
+  std::printf("\nthreat score (>= %.0f dBZ), average of %d cases:\n",
+              double(thresh),
               n_cases);
   std::printf("  lead [min] |   BDA   | persistence\n");
   for (std::size_t l = 0; l < n_leads; ++l)

@@ -40,7 +40,7 @@ int main() {
     for (std::size_t t = 0; t < shells.size(); ++t)
       if (prof[t][std::size_t(k)]) any = true;
     if (!any) continue;
-    std::printf("  %6.2f |", g.zc(k) / 1000.0f);
+    std::printf("  %6.2f |", double(g.zc(k)) / 1000.0);
     for (std::size_t t = 0; t < shells.size(); ++t)
       std::printf(" %4zu |", prof[t][std::size_t(k)]);
     std::printf("\n");
@@ -49,7 +49,7 @@ int main() {
   for (real thresh : {30.0f, 40.0f}) {
     const auto cores = workflow::rain_cores(dbz, thresh);
     std::printf("\nrain cores (>= %.0f dBZ, 6-connected): %zu cores;",
-                thresh, cores.size());
+                double(thresh), cores.size());
     std::printf(" voxel counts:");
     for (std::size_t c = 0; c < std::min<std::size_t>(cores.size(), 8); ++c)
       std::printf(" %zu", cores[c]);
@@ -66,6 +66,6 @@ int main() {
           echo_top = std::max(echo_top, g.zc(k));
           break;
         }
-  std::printf("\necho-top height (10 dBZ): %.1f km\n", echo_top / 1000.0f);
+  std::printf("\necho-top height (10 dBZ): %.1f km\n", double(echo_top) / 1000.0);
   return 0;
 }

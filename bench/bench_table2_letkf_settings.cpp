@@ -36,11 +36,11 @@ struct Bed {
     const int k = sys->ensemble().size();
     double mean = 0;
     for (int m = 0; m < k; ++m)
-      mean += sys->ensemble().member(m).theta(10, 10, 3);
+      mean += double(sys->ensemble().member(m).theta(10, 10, 3));
     mean /= k;
     double var = 0;
     for (int m = 0; m < k; ++m) {
-      const double d = sys->ensemble().member(m).theta(10, 10, 3) - mean;
+      const double d = double(sys->ensemble().member(m).theta(10, 10, 3)) - mean;
       var += d * d;
     }
     return var / (k - 1);

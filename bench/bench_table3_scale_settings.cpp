@@ -29,19 +29,20 @@ int main() {
   Grid grid = Grid::stretched(24, 24, 60, 500.0f, 16400.0f, 80.0f, 1.032f);
   std::printf("grid: %lld x %lld x %lld, dx = %.0f m, top = %.0f m\n",
               (long long)grid.nx(), (long long)grid.ny(),
-              (long long)grid.nz(), grid.dx(), grid.ztop());
-  std::printf("lowest layer dz = %.1f m, highest dz = %.1f m\n", grid.dz(0),
-              grid.dz(grid.nz() - 1));
+              (long long)grid.nz(), double(grid.dx()), double(grid.ztop()));
+  std::printf("lowest layer dz = %.1f m, highest dz = %.1f m\n",
+              double(grid.dz(0)),
+              double(grid.dz(grid.nz() - 1)));
 
   const real dt = 0.4f;  // Table 3
   const real cs = 347.0f;
-  std::printf("\nacoustic CFL at dt = %.1f s:\n", dt);
+  std::printf("\nacoustic CFL at dt = %.1f s:\n", double(dt));
   std::printf("  horizontal: cs*dt/dx = %.2f (< 1: explicit OK)\n",
-              cs * dt / grid.dx());
+              double(cs * dt / grid.dx()));
   std::printf("  vertical:   cs*dt/dz_min = %.2f (> 1: explicit UNSTABLE;\n"
               "              the implicit vertical solver is what allows the "
               "Table 3 step)\n",
-              cs * dt / grid.dz(0));
+              double(cs * dt / grid.dz(0)));
 
   // Full-physics stability + cost at the paper step.
   ModelConfig cfg;

@@ -1,0 +1,74 @@
+# Sanitizer wiring for the BDA tree.
+#
+# BDA_SANITIZE is a semicolon list drawn from {address, undefined, thread}.
+# "address;undefined" (ASan+UBSan) and "thread" (TSan) are the two supported
+# operating points; ASan and TSan are mutually exclusive by construction of
+# the runtimes.  Every target in the tree (library, tests, benches, examples)
+# is compiled and linked with the chosen sanitizers so interleavings in the
+# 30-s cycle path (comm ranks, JIT-DT watcher, OpenMP regions) are actually
+# instrumented, not just the test bodies.
+#
+# The active configuration also exports:
+#   BDA_SANITIZER_LABEL  - ctest label attached to every test ("asan-ubsan",
+#                          "tsan", or "release"), so `ctest -L tsan` selects
+#                          the instrumented suite in the matching build tree.
+#   BDA_SANITIZER_ENV    - environment injected into every registered test
+#                          (suppression files + strict failure modes).
+#
+# Default sanitizer options are additionally baked into the binaries via
+# __tsan_default_options()/__ubsan_default_options() (see
+# bda_sanitizer_defaults.cpp.in), so running a test binary by hand picks up
+# the OpenMP-aware suppressions without exporting anything.
+
+set(BDA_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers: address;undefined and/or thread")
+
+set(BDA_SANITIZER_LABEL "release")
+set(BDA_SANITIZER_ENV "")
+set(BDA_SANITIZE_FLAGS "")
+
+if(BDA_SANITIZE)
+  if(("address" IN_LIST BDA_SANITIZE OR "undefined" IN_LIST BDA_SANITIZE)
+     AND "thread" IN_LIST BDA_SANITIZE)
+    message(FATAL_ERROR
+        "BDA_SANITIZE: 'thread' cannot be combined with 'address'/'undefined'")
+  endif()
+
+  foreach(san IN LISTS BDA_SANITIZE)
+    if(NOT san MATCHES "^(address|undefined|thread)$")
+      message(FATAL_ERROR "BDA_SANITIZE: unknown sanitizer '${san}'")
+    endif()
+    list(APPEND BDA_SANITIZE_FLAGS "-fsanitize=${san}")
+  endforeach()
+
+  # Keep frames honest in reports and make UBSan findings fatal instead of
+  # printed-and-forgotten.
+  list(APPEND BDA_SANITIZE_FLAGS -fno-omit-frame-pointer -g)
+  if("undefined" IN_LIST BDA_SANITIZE)
+    list(APPEND BDA_SANITIZE_FLAGS -fno-sanitize-recover=undefined)
+  endif()
+
+  add_compile_options(${BDA_SANITIZE_FLAGS})
+  add_link_options(${BDA_SANITIZE_FLAGS})
+
+  if("thread" IN_LIST BDA_SANITIZE)
+    set(BDA_SANITIZER_LABEL "tsan")
+    set(BDA_SANITIZER_ENV
+        "TSAN_OPTIONS=suppressions=${CMAKE_SOURCE_DIR}/tools/sanitizers/tsan.supp:history_size=7:second_deadlock_stack=1")
+  else()
+    set(BDA_SANITIZER_LABEL "asan-ubsan")
+    set(BDA_SANITIZER_ENV
+        "UBSAN_OPTIONS=print_stacktrace=1:suppressions=${CMAKE_SOURCE_DIR}/tools/sanitizers/ubsan.supp"
+        "ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1")
+  endif()
+
+  # Bake default options (suppression paths above all) into every binary so
+  # direct `./build-tsan/tests/test_hpc` runs match `ctest` behaviour.
+  configure_file(
+    ${CMAKE_SOURCE_DIR}/tools/sanitizers/bda_sanitizer_defaults.cpp.in
+    ${CMAKE_BINARY_DIR}/generated/bda_sanitizer_defaults.cpp @ONLY)
+  set(BDA_SANITIZER_DEFAULTS_TU
+      ${CMAKE_BINARY_DIR}/generated/bda_sanitizer_defaults.cpp)
+
+  message(STATUS "BDA sanitizers: ${BDA_SANITIZE} (label ${BDA_SANITIZER_LABEL})")
+endif()

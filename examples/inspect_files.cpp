@@ -60,7 +60,7 @@ int inspect_pwr(const std::string& path) {
   std::printf("  geometry: %d elevations x %d azimuths x %d gates "
               "(%.0f m gates to %.1f km)\n",
               scan.cfg.n_elevation, scan.cfg.n_azimuth, scan.cfg.n_gate(),
-              scan.cfg.gate_length, scan.cfg.range_max / 1000.0f);
+              double(scan.cfg.gate_length), double(scan.cfg.range_max) / 1000.0);
   std::printf("  payload: %.2f MB\n",
               double(scan.payload_bytes()) / 1.0e6);
   const auto cov = pawr::scan_coverage(scan);

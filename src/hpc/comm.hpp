@@ -16,6 +16,8 @@
 #include <mutex>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace bda::hpc {
 
 using Buffer = std::vector<std::uint8_t>;
@@ -63,7 +65,8 @@ class CommWorld {
     std::mutex mu;
     std::condition_variable cv;
     // Keyed by (source, tag); FIFO per key.
-    std::map<std::pair<int, int>, std::vector<Buffer>> queues;
+    std::map<std::pair<int, int>, std::vector<Buffer>> queues
+        BDA_GUARDED_BY(mu);
   };
   void deliver(int dest, int source, int tag, const Buffer& data);
   Buffer take(int self, int source, int tag);
@@ -71,13 +74,14 @@ class CommWorld {
   int n_ranks_;
   std::vector<Mailbox> boxes_;
 
-  // Barrier / reduction state.
+  // Barrier / reduction state: generation-counted so back-to-back
+  // collectives cannot confuse late wakers (all guarded by coll_mu_).
   std::mutex coll_mu_;
   std::condition_variable coll_cv_;
-  int coll_count_ = 0;
-  std::uint64_t coll_generation_ = 0;
-  double reduce_acc_ = 0.0;
-  double reduce_result_ = 0.0;
+  int coll_count_ BDA_GUARDED_BY(coll_mu_) = 0;
+  std::uint64_t coll_generation_ BDA_GUARDED_BY(coll_mu_) = 0;
+  double reduce_acc_ BDA_GUARDED_BY(coll_mu_) = 0.0;
+  double reduce_result_ BDA_GUARDED_BY(coll_mu_) = 0.0;
 };
 
 }  // namespace bda::hpc

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/binary_io.hpp"
+
 namespace bda::hpc {
 
 TileLayout::TileLayout(int rank_, int px_, int py_, idx global_nx,
@@ -43,8 +45,7 @@ Buffer pack(const RField3D& f, idx i_lo, idx i_hi, idx j_lo, idx j_hi) {
   for (idx i = i_lo; i < i_hi; ++i)
     for (idx j = j_lo; j < j_hi; ++j) {
       const auto col = f.column(i, j);
-      const auto* p = reinterpret_cast<const std::uint8_t*>(col.data());
-      buf.insert(buf.end(), p, p + nz * sizeof(real));
+      io::append_raw(buf, col.data(), nz);
     }
   return buf;
 }

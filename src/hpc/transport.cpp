@@ -54,13 +54,18 @@ TransportStats MemoryTransport::put(int member,
                                     const std::vector<FieldRecord>& fields) {
   const double t0 = now_s();
   if (member < 0) throw std::out_of_range("MemoryTransport: member < 0");
-  if (static_cast<std::size_t>(member) >= slots_.size())
-    slots_.resize(static_cast<std::size_t>(member) + 1);
   TransportStats st;
   for (const auto& r : fields)
     st.bytes += r.data.interior_size() * sizeof(float);
   // One copy into the staging queue — the RAM-copy half of the exchange.
-  slots_[static_cast<std::size_t>(member)].push_back(fields);
+  // Copy outside the lock; only the queue splice is serialized.
+  auto staged = fields;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<std::size_t>(member) >= slots_.size())
+      slots_.resize(static_cast<std::size_t>(member) + 1);
+    slots_[static_cast<std::size_t>(member)].push_back(std::move(staged));
+  }
   st.seconds = now_s() - t0;
   return st;
 }
@@ -68,12 +73,16 @@ TransportStats MemoryTransport::put(int member,
 std::vector<FieldRecord> MemoryTransport::take(int member,
                                                TransportStats* stats) {
   const double t0 = now_s();
-  if (member < 0 || static_cast<std::size_t>(member) >= slots_.size() ||
-      slots_[static_cast<std::size_t>(member)].empty())
-    throw std::runtime_error("MemoryTransport: nothing staged for member " +
-                             std::to_string(member));
-  auto recs = std::move(slots_[static_cast<std::size_t>(member)].front());
-  slots_[static_cast<std::size_t>(member)].pop_front();
+  std::vector<FieldRecord> recs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (member < 0 || static_cast<std::size_t>(member) >= slots_.size() ||
+        slots_[static_cast<std::size_t>(member)].empty())
+      throw std::runtime_error("MemoryTransport: nothing staged for member " +
+                               std::to_string(member));
+    recs = std::move(slots_[static_cast<std::size_t>(member)].front());
+    slots_[static_cast<std::size_t>(member)].pop_front();
+  }
   if (stats) {
     stats->seconds = now_s() - t0;
     stats->bytes = 0;

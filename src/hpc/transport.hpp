@@ -15,9 +15,11 @@
 #include <chrono>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/binary_io.hpp"
 
 namespace bda::hpc {
@@ -56,6 +58,11 @@ class FileTransport final : public EnsembleTransport {
 /// Paper path: RAM copy, no file system involvement and no serialization —
 /// the field buffers are copied once into the staging queue and handed out
 /// by move, exactly the "MPI data transfer with RAM copy" data volume.
+///
+/// put() and take() run on different threads in the pipelined cycle (the
+/// SCALE producer side and the LETKF consumer side), so the staging queues
+/// are mutex-guarded.  take() still throws rather than blocks when nothing
+/// is staged: arrival ordering is the workflow's job, not the transport's.
 class MemoryTransport final : public EnsembleTransport {
  public:
   TransportStats put(int member,
@@ -64,7 +71,8 @@ class MemoryTransport final : public EnsembleTransport {
   const char* name() const override { return "memory"; }
 
  private:
-  std::vector<std::deque<std::vector<FieldRecord>>> slots_;
+  std::mutex mu_;
+  std::vector<std::deque<std::vector<FieldRecord>>> slots_ BDA_GUARDED_BY(mu_);
 };
 
 }  // namespace bda::hpc

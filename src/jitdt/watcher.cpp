@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <utility>
 
 namespace bda::jitdt {
 
@@ -14,7 +15,7 @@ DirectoryWatcher::DirectoryWatcher(std::string dir, std::string extension,
 
 DirectoryWatcher::~DirectoryWatcher() { stop(); }
 
-std::vector<std::string> DirectoryWatcher::poll_once() {
+std::vector<std::string> DirectoryWatcher::scan_locked() {
   std::vector<std::string> ready;
   if (!fs::exists(dir_)) return ready;
   for (const auto& entry : fs::directory_iterator(dir_)) {
@@ -39,21 +40,48 @@ std::vector<std::string> DirectoryWatcher::poll_once() {
   return ready;
 }
 
+std::vector<std::string> DirectoryWatcher::poll_once() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scan_locked();
+}
+
+bool DirectoryWatcher::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
 void DirectoryWatcher::start(Callback cb) {
   stop();
+  std::lock_guard<std::mutex> lock(mu_);
   running_ = true;
   thread_ = std::thread([this, cb = std::move(cb)] {
+    std::unique_lock<std::mutex> lock(mu_);
     while (running_) {
-      for (const auto& path : poll_once()) cb(path);
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(interval_s_));
+      // Scan under the lock, fire callbacks outside it so a slow transfer
+      // stage never blocks poll_once() callers or stop().
+      auto ready = scan_locked();
+      lock.unlock();
+      for (const auto& path : ready) cb(path);
+      lock.lock();
+      if (!running_) break;
+      state_cv_.wait_for(lock,
+                         std::chrono::duration<double>(interval_s_),
+                         [&]() BDA_REQUIRES(mu_) { return !running_; });
     }
   });
 }
 
 void DirectoryWatcher::stop() {
-  running_ = false;
-  if (thread_.joinable()) thread_.join();
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+    // The join must happen outside the lock (the poll thread takes mu_), so
+    // hand the handle off while still holding it.
+    to_join = std::move(thread_);
+  }
+  state_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
 }
 
 }  // namespace bda::jitdt

@@ -6,16 +6,26 @@
 // portability; a file is reported once, after its size has been stable for
 // one poll interval (the radar writes scans atomically via rename in
 // production, but stability-checking also covers plain writes).
+//
+// Thread model: start() spawns one background poll thread; stop() (and the
+// destructor) signal it through `state_cv_` and join, so shutdown is prompt
+// rather than waiting out a sleep.  The seen/pending bookkeeping is shared
+// between that thread and callers of poll_once(), so it is guarded by `mu_`.
+// The callback itself runs outside the lock — it is free to call back into
+// the watcher (except stop(), which would self-join).
 #pragma once
 
-#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace bda::jitdt {
 
@@ -32,20 +42,32 @@ class DirectoryWatcher {
   DirectoryWatcher& operator=(const DirectoryWatcher&) = delete;
 
   /// Start the watch thread; each new stable file fires `cb` exactly once.
+  /// Restarting an already-running watcher stops it first.
   void start(Callback cb);
+  /// Stop and join the watch thread.  Safe to call repeatedly, from any
+  /// thread except the watch thread itself, and concurrently with start().
   void stop();
 
+  /// True while the watch thread is running.
+  bool running() const;
+
   /// One synchronous poll (for deterministic tests): returns newly stable
-  /// files and marks them seen.
+  /// files and marks them seen.  Safe to call while the watch thread runs;
+  /// a file is still reported exactly once across both paths.
   std::vector<std::string> poll_once();
 
  private:
-  std::string dir_, ext_;
-  double interval_s_;
-  std::set<std::string> seen_;
-  std::map<std::string, std::uintmax_t> pending_;  // path -> last size
-  std::atomic<bool> running_{false};
-  std::thread thread_;
+  std::vector<std::string> scan_locked() BDA_REQUIRES(mu_);
+
+  const std::string dir_, ext_;
+  const double interval_s_;
+
+  mutable std::mutex mu_;
+  std::condition_variable state_cv_;             // signalled by stop()
+  std::set<std::string> seen_ BDA_GUARDED_BY(mu_);
+  std::map<std::string, std::uintmax_t> pending_ BDA_GUARDED_BY(mu_);
+  bool running_ BDA_GUARDED_BY(mu_) = false;     // poll loop should continue
+  std::thread thread_ BDA_GUARDED_BY(mu_);       // joined under start/stop
 };
 
 }  // namespace bda::jitdt

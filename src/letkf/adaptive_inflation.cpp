@@ -1,4 +1,6 @@
 #include "letkf/adaptive_inflation.hpp"
+// bda-style: double-ok — once-per-cycle Desroziers innovation statistics,
+// deliberately double precision (not a member-loop hot path).
 
 #include <algorithm>
 

@@ -50,7 +50,7 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
     keep.push_back(n);
     obs.push_back(obs_in[n]);
     ymean.push_back(mean);
-    sum_abs_inno += std::abs(inno);
+    sum_abs_inno += double(std::abs(inno));
   }
   if (obs.empty()) return stats;
   stats.mean_abs_innovation = sum_abs_inno / double(obs.size());

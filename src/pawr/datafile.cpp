@@ -11,27 +11,24 @@ namespace bda::pawr {
 namespace {
 constexpr char kMagic[4] = {'P', 'W', 'R', '1'};
 
+// All byte-level packing goes through bda::io (util/binary_io), the one
+// sanctioned home for type punning in the tree.
 template <typename T>
 void put(std::vector<std::uint8_t>& buf, T v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  buf.insert(buf.end(), p, p + sizeof(T));
+  io::put_scalar<T>(buf, v);
 }
 
 template <typename T>
 T take(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
-  if (pos + sizeof(T) > buf.size())
-    throw std::runtime_error("PWR1: truncated");
-  T v;
-  std::memcpy(&v, buf.data() + pos, sizeof(T));
-  pos += sizeof(T);
-  return v;
+  return io::take_scalar<T>(buf, pos, "PWR1");
 }
 }  // namespace
 
 std::vector<std::uint8_t> encode_scan(const VolumeScan& vs) {
-  std::vector<std::uint8_t> buf;
+  // Seed with the magic at construction: insert() into a still-empty vector
+  // trips GCC 12's -Wstringop-overflow false positive under -fsanitize.
+  std::vector<std::uint8_t> buf(kMagic, kMagic + 4);
   buf.reserve(vs.payload_bytes() + 64);
-  buf.insert(buf.end(), kMagic, kMagic + 4);
   put<double>(buf, vs.t_obs);
   put<float>(buf, vs.cfg.range_max);
   put<float>(buf, vs.cfg.gate_length);
@@ -39,10 +36,8 @@ std::vector<std::uint8_t> encode_scan(const VolumeScan& vs) {
   put<std::int32_t>(buf, vs.cfg.n_elevation);
   put<float>(buf, vs.cfg.elev_max_deg);
   put<double>(buf, vs.cfg.period_s);
-  const auto* pr = reinterpret_cast<const std::uint8_t*>(vs.reflectivity.data());
-  buf.insert(buf.end(), pr, pr + vs.reflectivity.size() * sizeof(float));
-  const auto* pd = reinterpret_cast<const std::uint8_t*>(vs.doppler.data());
-  buf.insert(buf.end(), pd, pd + vs.doppler.size() * sizeof(float));
+  io::append_raw(buf, vs.reflectivity.data(), vs.reflectivity.size());
+  io::append_raw(buf, vs.doppler.data(), vs.doppler.size());
   buf.insert(buf.end(), vs.flag.begin(), vs.flag.end());
   put<std::uint32_t>(buf, crc32(buf.data(), buf.size()));
   return buf;
@@ -75,21 +70,14 @@ VolumeScan decode_scan(const std::vector<std::uint8_t>& buf) {
   const std::size_t need = n * (2 * sizeof(float) + 1);
   if (pos + need + 4 != buf.size())
     throw std::runtime_error("PWR1: size mismatch");
-  std::memcpy(vs.reflectivity.data(), buf.data() + pos, n * sizeof(float));
-  pos += n * sizeof(float);
-  std::memcpy(vs.doppler.data(), buf.data() + pos, n * sizeof(float));
-  pos += n * sizeof(float);
-  std::memcpy(vs.flag.data(), buf.data() + pos, n);
+  io::take_raw(buf, pos, vs.reflectivity.data(), n, "PWR1");
+  io::take_raw(buf, pos, vs.doppler.data(), n, "PWR1");
+  io::take_raw(buf, pos, vs.flag.data(), n, "PWR1");
   return vs;
 }
 
 void write_scan(const std::string& path, const VolumeScan& vs) {
-  const auto buf = encode_scan(vs);
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw std::runtime_error("PWR1: cannot open " + path);
-  f.write(reinterpret_cast<const char*>(buf.data()),
-          static_cast<std::streamsize>(buf.size()));
-  if (!f) throw std::runtime_error("PWR1: write failed " + path);
+  io::write_file(path, encode_scan(vs), "PWR1");
 }
 
 VolumeScan read_scan(const std::string& path) {

@@ -49,11 +49,11 @@ letkf::ObsVector regrid_scan(const VolumeScan& scan, const scale::Grid& grid,
         const std::size_t key =
             (static_cast<std::size_t>(i) * ny + j) * nz + k;
         auto& c = cells[key];
-        c.refl_sum += scan.reflectivity[n];
+        c.refl_sum += double(scan.reflectivity[n]);
         c.refl_n += 1;
         c.max_refl = std::max(c.max_refl, scan.reflectivity[n]);
         if (scan.reflectivity[n] >= cfg.doppler_min_refl) {
-          c.dopp_sum += scan.doppler[n];
+          c.dopp_sum += double(scan.doppler[n]);
           c.dopp_n += 1;
         }
       }

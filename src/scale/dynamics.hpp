@@ -27,8 +27,8 @@ enum class LateralBc {
 
 struct DynParams {
   int rk_stages = 3;           ///< 1 = forward Euler (tests), 3 = WS-RK3
-  real divdamp_coef = 0.05;    ///< 3-D divergence damping, nondimensional
-  real hyperdiff_coef = 0.01;  ///< 4th-order horizontal filter, nondim
+  real divdamp_coef = 0.05f;   ///< 3-D divergence damping, nondimensional
+  real hyperdiff_coef = 0.01f; ///< 4th-order horizontal filter, nondim
   real sponge_depth = 3000.0f; ///< Rayleigh layer below model top [m]
   real sponge_tau = 120.0f;    ///< sponge relaxation time scale [s]
   real f_coriolis = 0.0f;      ///< f-plane parameter [1/s] (0 = off)

@@ -94,7 +94,7 @@ void Ensemble::advance(real duration) {
       if (bdy_driver_)
         apply_davies(s, *bdy_state_, bdy_width_, cfg_.dt, bdy_tau_);
     }
-    time_ += cfg_.dt;
+    time_ += double(cfg_.dt);
     ++step_count_;
   }
 }

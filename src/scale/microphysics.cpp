@@ -247,7 +247,7 @@ void Microphysics::sedimentation(State& s, real dt) {
         const real dts = dt / real(nsub);
         for (int sub = 0; sub < nsub; ++sub) {
           // Downward upwind flux through each cell bottom face.
-          real flux[257];  // flux[k] = through bottom of cell k
+          real flux[257] = {};  // flux[k] = through bottom of cell k
           for (idx k = 0; k < nz; ++k)
             flux[k] = vt[k] * std::max(s.rhoq[t](i, j, k), real(0));
           real out_bottom = flux[0] * dts;  // mass leaving the column

@@ -37,7 +37,7 @@ void Model::step() {
     bdy_driver_->fill(time_, *bdy_state_);
     apply_davies(state_, *bdy_state_, bdy_width_, cfg_.dt, bdy_tau_);
   }
-  time_ += cfg_.dt;
+  time_ += double(cfg_.dt);
   ++step_count_;
 }
 

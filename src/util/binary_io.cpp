@@ -5,28 +5,28 @@
 #include <fstream>
 #include <stdexcept>
 
+namespace bda::io {
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& buf,
+                const char* what) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f)
+    throw std::runtime_error(std::string(what) +
+                             ": cannot open for write: " + path);
+  // The one sanctioned reinterpret_cast in the tree: iostreams speak char*,
+  // the buffers are uint8_t — both are byte types, so this is not punning.
+  f.write(reinterpret_cast<const char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  if (!f)
+    throw std::runtime_error(std::string(what) + ": write failed: " + path);
+}
+
+}  // namespace bda::io
+
 namespace bda {
 
 namespace {
-
 constexpr std::array<char, 4> kMagic = {'B', 'D', 'F', '1'};
-
-template <typename T>
-void put(std::vector<std::uint8_t>& buf, T v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  buf.insert(buf.end(), p, p + sizeof(T));
-}
-
-template <typename T>
-T take(const std::vector<std::uint8_t>& buf, std::size_t& pos) {
-  if (pos + sizeof(T) > buf.size())
-    throw std::runtime_error("BDF: truncated buffer");
-  T v;
-  std::memcpy(&v, buf.data() + pos, sizeof(T));
-  pos += sizeof(T);
-  return v;
-}
-
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
@@ -47,24 +47,25 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
 }
 
 std::vector<std::uint8_t> encode_bdf(const std::vector<FieldRecord>& recs) {
-  std::vector<std::uint8_t> buf;
-  buf.insert(buf.end(), kMagic.begin(), kMagic.end());
-  put<std::uint32_t>(buf, static_cast<std::uint32_t>(recs.size()));
+  // Seed with the magic at construction: insert() into a still-empty vector
+  // trips GCC 12's -Wstringop-overflow false positive under -fsanitize.
+  std::vector<std::uint8_t> buf(kMagic.begin(), kMagic.end());
+  io::put_scalar<std::uint32_t>(buf, static_cast<std::uint32_t>(recs.size()));
   for (const auto& r : recs) {
-    put<std::uint32_t>(buf, static_cast<std::uint32_t>(r.name.size()));
-    buf.insert(buf.end(), r.name.begin(), r.name.end());
-    put<std::uint32_t>(buf, static_cast<std::uint32_t>(r.data.nx()));
-    put<std::uint32_t>(buf, static_cast<std::uint32_t>(r.data.ny()));
-    put<std::uint32_t>(buf, static_cast<std::uint32_t>(r.data.nz()));
+    io::put_scalar<std::uint32_t>(buf,
+                                  static_cast<std::uint32_t>(r.name.size()));
+    io::append_raw(buf, r.name.data(), r.name.size());
+    io::put_scalar<std::uint32_t>(buf, static_cast<std::uint32_t>(r.data.nx()));
+    io::put_scalar<std::uint32_t>(buf, static_cast<std::uint32_t>(r.data.ny()));
+    io::put_scalar<std::uint32_t>(buf, static_cast<std::uint32_t>(r.data.nz()));
     for (idx i = 0; i < r.data.nx(); ++i)
       for (idx j = 0; j < r.data.ny(); ++j) {
         auto col = r.data.column(i, j);
-        const auto* p = reinterpret_cast<const std::uint8_t*>(col.data());
-        buf.insert(buf.end(), p, p + col.size() * sizeof(float));
+        io::append_raw(buf, col.data(), col.size());
       }
   }
   const std::uint32_t crc = crc32(buf.data(), buf.size());
-  put<std::uint32_t>(buf, crc);
+  io::put_scalar<std::uint32_t>(buf, crc);
   return buf;
 }
 
@@ -72,38 +73,30 @@ std::vector<FieldRecord> decode_bdf(const std::vector<std::uint8_t>& buf) {
   if (buf.size() < 12) throw std::runtime_error("BDF: too short");
   if (std::memcmp(buf.data(), kMagic.data(), 4) != 0)
     throw std::runtime_error("BDF: bad magic");
-  const std::uint32_t stored_crc =
-      [&] {
-        std::uint32_t c;
-        std::memcpy(&c, buf.data() + buf.size() - 4, 4);
-        return c;
-      }();
+  std::size_t crc_pos = buf.size() - 4;
+  const auto stored_crc = io::take_scalar<std::uint32_t>(buf, crc_pos, "BDF");
   if (crc32(buf.data(), buf.size() - 4) != stored_crc)
     throw std::runtime_error("BDF: CRC mismatch");
 
   std::size_t pos = 4;
-  const auto nrec = take<std::uint32_t>(buf, pos);
+  const auto nrec = io::take_scalar<std::uint32_t>(buf, pos, "BDF");
   std::vector<FieldRecord> recs;
   recs.reserve(nrec);
   for (std::uint32_t r = 0; r < nrec; ++r) {
-    const auto nlen = take<std::uint32_t>(buf, pos);
+    const auto nlen = io::take_scalar<std::uint32_t>(buf, pos, "BDF");
     if (pos + nlen > buf.size()) throw std::runtime_error("BDF: truncated");
-    std::string name(reinterpret_cast<const char*>(buf.data() + pos), nlen);
-    pos += nlen;
-    const auto nx = take<std::uint32_t>(buf, pos);
-    const auto ny = take<std::uint32_t>(buf, pos);
-    const auto nz = take<std::uint32_t>(buf, pos);
+    std::string name(nlen, '\0');
+    io::take_raw(buf, pos, name.data(), nlen, "BDF");
+    const auto nx = io::take_scalar<std::uint32_t>(buf, pos, "BDF");
+    const auto ny = io::take_scalar<std::uint32_t>(buf, pos, "BDF");
+    const auto nz = io::take_scalar<std::uint32_t>(buf, pos, "BDF");
     if (nx == 0 || ny == 0 || nz == 0)
       throw std::runtime_error("BDF: zero dimension");
     Field3D<float> f(nx, ny, nz, 0);
     for (std::uint32_t i = 0; i < nx; ++i)
       for (std::uint32_t j = 0; j < ny; ++j) {
         auto col = f.column(i, j);
-        const std::size_t bytes = col.size() * sizeof(float);
-        if (pos + bytes > buf.size())
-          throw std::runtime_error("BDF: truncated data");
-        std::memcpy(col.data(), buf.data() + pos, bytes);
-        pos += bytes;
+        io::take_raw(buf, pos, col.data(), col.size(), "BDF");
       }
     recs.push_back({std::move(name), std::move(f)});
   }
@@ -111,12 +104,7 @@ std::vector<FieldRecord> decode_bdf(const std::vector<std::uint8_t>& buf) {
 }
 
 void write_bdf(const std::string& path, const std::vector<FieldRecord>& recs) {
-  const auto buf = encode_bdf(recs);
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw std::runtime_error("BDF: cannot open for write: " + path);
-  f.write(reinterpret_cast<const char*>(buf.data()),
-          static_cast<std::streamsize>(buf.size()));
-  if (!f) throw std::runtime_error("BDF: write failed: " + path);
+  io::write_file(path, encode_bdf(recs), "BDF");
 }
 
 std::vector<FieldRecord> read_bdf(const std::string& path) {

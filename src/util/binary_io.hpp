@@ -8,10 +8,72 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "util/field.hpp"
+
+namespace bda::io {
+
+// The repo's single home for byte-level type punning.  Everything goes
+// through std::memcpy on trivially-copyable types (defined behaviour, and
+// compilers lower it to plain loads/stores), so serializers elsewhere never
+// need a reinterpret_cast of their own — tools/check_bda_style.py enforces
+// that only util/binary_io.cpp may spell one.
+
+/// Append the object representation of `v` to `buf` (native endianness).
+template <typename T>
+void put_scalar(std::vector<std::uint8_t>& buf, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t old = buf.size();
+  buf.resize(old + sizeof(T));
+  std::memcpy(buf.data() + old, &v, sizeof(T));
+}
+
+/// Read a `T` at `pos` and advance; throws if the buffer is too short.
+template <typename T>
+T take_scalar(const std::vector<std::uint8_t>& buf, std::size_t& pos,
+              const char* what = "binary_io") {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (pos + sizeof(T) > buf.size())
+    throw std::runtime_error(std::string(what) + ": truncated buffer");
+  T v;
+  std::memcpy(&v, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+/// Append the raw bytes of `n` contiguous elements at `p`.
+template <typename T>
+void append_raw(std::vector<std::uint8_t>& buf, const T* p, std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t old = buf.size();
+  buf.resize(old + n * sizeof(T));
+  std::memcpy(buf.data() + old, p, n * sizeof(T));
+}
+
+/// Copy `n` elements out of `buf` at `pos` into `dst` and advance; throws if
+/// the buffer is too short.
+template <typename T>
+void take_raw(const std::vector<std::uint8_t>& buf, std::size_t& pos, T* dst,
+              std::size_t n, const char* what = "binary_io") {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t bytes = n * sizeof(T);
+  if (pos + bytes > buf.size())
+    throw std::runtime_error(std::string(what) + ": truncated buffer");
+  std::memcpy(dst, buf.data() + pos, bytes);
+  pos += bytes;
+}
+
+/// Write a whole byte buffer to `path` (binary, truncating); throws on I/O
+/// failure.  `what` prefixes error messages ("BDF", "PWR1", ...).
+void write_file(const std::string& path, const std::vector<std::uint8_t>& buf,
+                const char* what = "binary_io");
+
+}  // namespace bda::io
 
 namespace bda {
 

@@ -34,7 +34,7 @@ Logger::Sink Logger::set_sink(Sink sink) {
 }
 
 void Logger::log(LogLevel lvl, const std::string& msg) {
-  if (static_cast<int>(lvl) < static_cast<int>(level_)) return;
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (sink_) sink_(lvl, msg);
 }

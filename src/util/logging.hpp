@@ -5,15 +5,22 @@
 // JIT-DT watchdog log through this interface; tests capture it via a sink.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
 
+#include "util/annotations.hpp"
+
 namespace bda {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
+/// Thread-safe leveled logger.  All of the cycle path logs through this from
+/// concurrent contexts (comm rank threads, the JIT-DT watcher thread, OpenMP
+/// regions), so the level gate is atomic (read lock-free on every call) and
+/// the sink is swapped and invoked under `mu_`.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
@@ -21,8 +28,12 @@ class Logger {
   /// Process-wide logger.  Default sink writes to stderr.
   static Logger& global();
 
-  void set_level(LogLevel lvl) { level_ = lvl; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel lvl) {
+    level_.store(static_cast<int>(lvl), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
   /// Replace the sink (returns the previous one so tests can restore it).
   Sink set_sink(Sink sink);
 
@@ -31,8 +42,8 @@ class Logger {
  private:
   Logger();
   std::mutex mu_;
-  LogLevel level_ = LogLevel::kInfo;
-  Sink sink_;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  Sink sink_ BDA_GUARDED_BY(mu_);
 };
 
 namespace detail {

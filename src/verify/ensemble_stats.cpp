@@ -43,10 +43,13 @@ void SpreadSkill::add(std::span<const real> members, real truth) {
   const std::size_t k = members.size();
   if (k < 2) return;
   double mean = 0;
-  for (real m : members) mean += m;
+  for (real m : members) mean += double(m);
   mean /= double(k);
   double var = 0;
-  for (real m : members) var += (m - mean) * (m - mean);
+  for (real m : members) {
+    const double dm = double(m) - mean;
+    var += dm * dm;
+  }
   var /= double(k - 1);
   sum_var_ += var;
   const double err = mean - double(truth);

@@ -74,8 +74,8 @@ MotionVector estimate_motion(const RField2D& earlier, const RField2D& later,
 RField2D advect_nowcast(const RField2D& latest, const MotionVector& motion,
                         double lead_s, real fill) {
   RField2D out(latest.nx(), latest.ny(), 0);
-  const real sx = real(motion.valid ? motion.u * lead_s : 0.0);
-  const real sy = real(motion.valid ? motion.v * lead_s : 0.0);
+  const real sx = real(motion.valid ? double(motion.u) * lead_s : 0.0);
+  const real sy = real(motion.valid ? double(motion.v) * lead_s : 0.0);
   for (idx i = 0; i < out.nx(); ++i)
     for (idx j = 0; j < out.ny(); ++j) {
       const real x = real(i) - sx;

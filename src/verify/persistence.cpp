@@ -7,8 +7,8 @@ namespace bda::verify {
 RField2D PersistenceForecast::advected(double lead_s, real u, real v, real dx,
                                        real fill) const {
   RField2D out(initial_.nx(), initial_.ny(), 0);
-  const real sx = real(u * lead_s / dx);
-  const real sy = real(v * lead_s / dx);
+  const real sx = real(double(u) * lead_s / double(dx));
+  const real sy = real(double(v) * lead_s / double(dx));
   for (idx i = 0; i < out.nx(); ++i)
     for (idx j = 0; j < out.ny(); ++j) {
       // Semi-Lagrangian backtrack with bilinear sampling.

@@ -143,5 +143,90 @@ TEST(Comm, ExceptionInRankPropagates) {
                std::runtime_error);
 }
 
+// --- Collective stress: hammer the generation-counted barrier/allreduce
+// machinery with many back-to-back rounds and mixed point-to-point traffic.
+// Under TSan this is the test that exercises real interleavings in the
+// coll_mu_/coll_cv_ handoff; the assertions catch generation mixups (a rank
+// reading a stale reduce_result_ or slipping past the wrong barrier epoch).
+
+TEST(Comm, BarrierStressManyRounds) {
+  constexpr int kRanks = 6;
+  constexpr int kRounds = 200;
+  CommWorld world(kRanks);
+  std::atomic<int> phase_sum{0};
+  world.run([&](Comm& comm) {
+    for (int round = 0; round < kRounds; ++round) {
+      phase_sum.fetch_add(1);
+      comm.barrier();
+      // Every rank incremented before anyone proceeds past this epoch.
+      EXPECT_GE(phase_sum.load(), (round + 1) * kRanks);
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(phase_sum.load(), kRounds * kRanks);
+}
+
+TEST(Comm, AllreduceStressBackToBackRounds) {
+  constexpr int kRanks = 5;
+  constexpr int kRounds = 300;
+  CommWorld world(kRanks);
+  world.run([](Comm& comm) {
+    for (int round = 0; round < kRounds; ++round) {
+      // Round-dependent contribution so a stale result from round r-1 can
+      // never equal the expected value for round r.
+      const double mine = double(comm.rank() + 1) + double(round) * 100.0;
+      const double expect =
+          double(kRanks * (kRanks + 1)) / 2.0 + double(round) * 100.0 * kRanks;
+      ASSERT_DOUBLE_EQ(comm.allreduce_sum(mine), expect);
+    }
+  });
+}
+
+TEST(Comm, MixedCollectivesAndPointToPointStress) {
+  // The 30-s cycle interleaves halo exchange (send/recv) with ensemble-mean
+  // reductions (allreduce) — reproduce that mix at small scale.
+  constexpr int kRanks = 4;
+  constexpr int kRounds = 100;
+  CommWorld world(kRanks);
+  world.run([](Comm& comm) {
+    const int next = (comm.rank() + 1) % kRanks;
+    const int prev = (comm.rank() + kRanks - 1) % kRanks;
+    for (int round = 0; round < kRounds; ++round) {
+      comm.send(next, round, {std::uint8_t(comm.rank()),
+                              std::uint8_t(round % 251)});
+      const Buffer got = comm.recv(prev, round);
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_EQ(got[0], std::uint8_t(prev));
+      EXPECT_EQ(got[1], std::uint8_t(round % 251));
+      const double sum = comm.allreduce_sum(double(got[0]));
+      EXPECT_DOUBLE_EQ(sum, 0.0 + 1.0 + 2.0 + 3.0);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Comm, GatherStressRepeatedRotatingRoot) {
+  constexpr int kRanks = 4;
+  constexpr int kRounds = 50;
+  CommWorld world(kRanks);
+  world.run([](Comm& comm) {
+    for (int round = 0; round < kRounds; ++round) {
+      const int root = round % kRanks;
+      Buffer mine = {std::uint8_t(comm.rank()), std::uint8_t(round % 251)};
+      const auto all = comm.gather(root, mine);
+      if (comm.rank() == root) {
+        ASSERT_EQ(all.size(), std::size_t(kRanks));
+        for (int r = 0; r < kRanks; ++r) {
+          ASSERT_EQ(all[r].size(), 2u);
+          EXPECT_EQ(all[r][0], std::uint8_t(r));
+          EXPECT_EQ(all[r][1], std::uint8_t(round % 251));
+        }
+      } else {
+        EXPECT_TRUE(all.empty());
+      }
+    }
+  });
+}
+
 }  // namespace
 }  // namespace bda::hpc

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
+#include <string>
 
 #include "hpc/transport.hpp"
 
@@ -23,7 +25,10 @@ class TransportCase
  protected:
   std::unique_ptr<EnsembleTransport> make() {
     if (std::string(GetParam()) == "file") {
-      dir_ = (std::filesystem::temp_directory_path() / "bda_transport_test")
+      // Per-process path: parallel ctest runs each test as its own process,
+      // and concurrent tests must not share a transport spool directory.
+      dir_ = (std::filesystem::temp_directory_path() /
+              ("bda_transport_test_" + std::to_string(::getpid())))
                  .string();
       return std::make_unique<FileTransport>(dir_);
     }

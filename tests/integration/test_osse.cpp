@@ -108,11 +108,12 @@ TEST(Osse, EnsembleSpreadSurvivesCycling) {
   // Spread of theta at a mid-level point across members.
   double mean = 0;
   const int k = sys.ensemble().size();
-  for (int m = 0; m < k; ++m) mean += sys.ensemble().member(m).theta(10, 10, 3);
+  for (int m = 0; m < k; ++m)
+    mean += double(sys.ensemble().member(m).theta(10, 10, 3));
   mean /= k;
   double var = 0;
   for (int m = 0; m < k; ++m) {
-    const double d = sys.ensemble().member(m).theta(10, 10, 3) - mean;
+    const double d = double(sys.ensemble().member(m).theta(10, 10, 3)) - mean;
     var += d * d;
   }
   var /= (k - 1);

@@ -81,7 +81,7 @@ TEST(Letkf, AnalysisMovesEnsembleMeanTowardObservation) {
   auto mean_u_near = [&] {
     double s = 0;
     for (int m = 0; m < f.ens.size(); ++m)
-      s += f.ens.member(m).u(11, 8, 0);  // xc(11) = 5750, zc(0) = 500
+      s += double(f.ens.member(m).u(11, 8, 0));  // xc(11) = 5750, zc(0) = 500
     return s / f.ens.size();
   };
   const double before = mean_u_near();

@@ -237,10 +237,10 @@ TEST(LetkfCore, SingleFloatPrecisionStable) {
     for (std::size_t m = 0; m < k; ++m) xb[m] = float(xd[m]);
   }
   double mean = 0;
-  for (float v : xb) mean += v;
+  for (float v : xb) mean += double(v);
   mean /= double(k);
   std::vector<float> Y(k);
-  for (std::size_t m = 0; m < k; ++m) Y[m] = float(xb[m] - mean);
+  for (std::size_t m = 0; m < k; ++m) Y[m] = float(double(xb[m]) - mean);
   std::vector<float> d = {float(8.0 - mean)}, rinv = {1.0f};
   LetkfWorkspace<float> ws(k);
   std::vector<float> W(k * k);

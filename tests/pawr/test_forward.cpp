@@ -67,8 +67,11 @@ TEST(RadarSimulator, ClearAirWhenNoHydrometeors) {
   RadarSimulator sim(g, small_scan(), center_radar());
   Rng rng(2);
   const VolumeScan vs = sim.observe(s, 0.0, rng);
-  for (std::size_t n = 0; n < vs.n_samples(); ++n)
-    if (vs.flag[n] == kValid) EXPECT_LE(vs.reflectivity[n], -19.0f);
+  for (std::size_t n = 0; n < vs.n_samples(); ++n) {
+    if (vs.flag[n] == kValid) {
+      EXPECT_LE(vs.reflectivity[n], -19.0f);
+    }
+  }
 }
 
 TEST(RadarSimulator, OutOfDomainFlagged) {

@@ -49,7 +49,8 @@ double weighted_sum(const RField3D& f, const Grid& g) {
   double s = 0;
   for (idx i = 0; i < f.nx(); ++i)
     for (idx j = 0; j < f.ny(); ++j)
-      for (idx k = 0; k < f.nz(); ++k) s += double(f(i, j, k)) * g.dz(k);
+      for (idx k = 0; k < f.nz(); ++k)
+        s += double(f(i, j, k)) * double(g.dz(k));
   return s;
 }
 

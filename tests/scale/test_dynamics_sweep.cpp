@@ -25,7 +25,8 @@ double weighted_mass(const State& s, const Grid& g) {
   double m = 0;
   for (idx i = 0; i < s.nx; ++i)
     for (idx j = 0; j < s.ny; ++j)
-      for (idx k = 0; k < s.nz; ++k) m += double(s.dens(i, j, k)) * g.dz(k);
+      for (idx k = 0; k < s.nz; ++k)
+        m += double(s.dens(i, j, k)) * double(g.dz(k));
   return m;
 }
 

@@ -22,8 +22,8 @@ TEST(SmoothNoise, HasUnitScaleAndSpatialCorrelation) {
   double sum = 0, sum2 = 0;
   for (idx i = 0; i < 32; ++i)
     for (idx j = 0; j < 32; ++j) {
-      sum += f(i, j);
-      sum2 += f(i, j) * f(i, j);
+      sum += double(f(i, j));
+      sum2 += double(f(i, j)) * double(f(i, j));
     }
   const double mean = sum / 1024.0;
   const double var = sum2 / 1024.0 - mean * mean;
@@ -34,8 +34,8 @@ TEST(SmoothNoise, HasUnitScaleAndSpatialCorrelation) {
   double corr = 0, norm = 0;
   for (idx i = 0; i + 1 < 32; ++i)
     for (idx j = 0; j < 32; ++j) {
-      corr += (f(i, j) - mean) * (f(i + 1, j) - mean);
-      norm += (f(i, j) - mean) * (f(i, j) - mean);
+      corr += (double(f(i, j)) - mean) * (double(f(i + 1, j)) - mean);
+      norm += (double(f(i, j)) - mean) * (double(f(i, j)) - mean);
     }
   EXPECT_GT(corr / norm, 0.5);
 }
@@ -66,10 +66,10 @@ TEST(Ensemble, PerturbationCreatesSpreadBelowZmax) {
     }
   ASSERT_GE(khigh, 0);
   for (int m = 1; m < 8; ++m) {
-    spread_low += std::abs(ens.member(m).theta(5, 5, 0) -
-                           ens.member(0).theta(5, 5, 0));
-    spread_high += std::abs(ens.member(m).theta(5, 5, khigh) -
-                            ens.member(0).theta(5, 5, khigh));
+    spread_low += double(std::abs(ens.member(m).theta(5, 5, 0) -
+                                  ens.member(0).theta(5, 5, 0)));
+    spread_high += double(std::abs(ens.member(m).theta(5, 5, khigh) -
+                                   ens.member(0).theta(5, 5, khigh)));
   }
   EXPECT_GT(spread_low, 0.05);
   EXPECT_EQ(spread_high, 0.0);

@@ -82,7 +82,8 @@ TEST(Microphysics, PhaseChangesConserveWaterAndMass) {
     // accumulated precip is kg/m2 == mm; convert back to column kg/m3*cells
     double total = 0;
     for (idx i = 0; i < 4; ++i)
-      for (idx j = 0; j < 4; ++j) total += mp.accumulated_precip()(i, j);
+      for (idx j = 0; j < 4; ++j)
+        total += double(mp.accumulated_precip()(i, j));
     return total;
   }();
   // Total water in the air + what left through the surface, in consistent
@@ -101,17 +102,18 @@ TEST(Microphysics, PhaseChangesConserveWaterAndMass) {
     for (idx j = 0; j < 4; ++j)
       for (idx k = 0; k < 12; ++k)
         for (int t = 0; t < kNumTracers; ++t)
-          col0 += double(s2.rhoq[t](i, j, k)) * g.dz(k);
+          col0 += double(s2.rhoq[t](i, j, k)) * double(g.dz(k));
   Microphysics mp2(g);
   mp2.step(s2, 1.0f);
   for (idx i = 0; i < 4; ++i)
     for (idx j = 0; j < 4; ++j)
       for (idx k = 0; k < 12; ++k)
         for (int t = 0; t < kNumTracers; ++t)
-          col1 += double(s2.rhoq[t](i, j, k)) * g.dz(k);
+          col1 += double(s2.rhoq[t](i, j, k)) * double(g.dz(k));
   double precip2 = 0;
   for (idx i = 0; i < 4; ++i)
-    for (idx j = 0; j < 4; ++j) precip2 += mp2.accumulated_precip()(i, j);
+    for (idx j = 0; j < 4; ++j)
+      precip2 += double(mp2.accumulated_precip()(i, j));
   EXPECT_NEAR(col0, col1 + precip2, 1e-3 * col0);
 }
 

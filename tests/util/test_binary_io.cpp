@@ -86,8 +86,8 @@ TEST(BinaryIo, ReadMissingFileThrows) {
 
 TEST(Crc32, KnownVectorAndSensitivity) {
   // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
-  const char* s = "123456789";
-  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+  const std::uint8_t s[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
   // Single-bit change flips the CRC.
   std::uint8_t a[4] = {1, 2, 3, 4};
   std::uint8_t b[4] = {1, 2, 3, 5};

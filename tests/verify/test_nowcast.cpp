@@ -21,8 +21,8 @@ TEST(Nowcast, RecoversKnownTranslation) {
   const auto t1 = blob(13, 17);
   const auto mv = estimate_motion(t0, t1, {}, 60.0);
   ASSERT_TRUE(mv.valid);
-  EXPECT_NEAR(mv.u * 60.0, 3.0, 0.01);
-  EXPECT_NEAR(mv.v * 60.0, 1.0, 0.01);
+  EXPECT_NEAR(double(mv.u) * 60.0, 3.0, 0.01);
+  EXPECT_NEAR(double(mv.v) * 60.0, 1.0, 0.01);
 }
 
 TEST(Nowcast, StationaryEchoGivesZeroMotion) {

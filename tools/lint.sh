@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Lint gate for the BDA tree: clang-tidy (when available) + the repo-specific
+# style checker.  CI runs this on every push; run it locally before sending a
+# change touching the concurrent cycle path.
+#
+# Usage:
+#   tools/lint.sh                 # style checker + clang-tidy over the tree
+#   tools/lint.sh file1.cpp ...   # restrict clang-tidy to the given files
+#   BDA_LINT_BUILD_DIR=build tools/lint.sh   # where compile_commands.json is
+#
+# clang-tidy needs a compilation database; configure any preset first
+# (cmake --preset release) — CMAKE_EXPORT_COMPILE_COMMANDS is always on.
+# On a toolchain without clang-tidy the tidy stage is skipped with a notice
+# (the style checker and the -Werror build still gate), so the script stays
+# usable in minimal containers.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "== check_bda_style =="
+python3 tools/check_bda_style.py || status=1
+
+echo "== clang-tidy =="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not found on PATH — skipping (style checker still ran)."
+else
+  build_dir="${BDA_LINT_BUILD_DIR:-build}"
+  if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+    echo "no ${build_dir}/compile_commands.json — configure first:" >&2
+    echo "  cmake --preset release" >&2
+    status=1
+  else
+    if [[ $# -gt 0 ]]; then
+      files=("$@")
+    else
+      mapfile -t files < <(git ls-files 'src/**/*.cpp' 'src/**/*.hpp')
+    fi
+    if ! clang-tidy -p "${build_dir}" --quiet "${files[@]}"; then
+      status=1
+    fi
+  fi
+fi
+
+if [[ ${status} -ne 0 ]]; then
+  echo "lint: FAILED" >&2
+else
+  echo "lint: OK"
+fi
+exit ${status}
