@@ -4,48 +4,79 @@
 
 namespace bda::hpc {
 
+RotatingGroupPool::RotatingGroupPool(int n_groups, double max_wait_s)
+    : busy_until_(static_cast<std::size_t>(n_groups), 0.0),
+      max_wait_s_(max_wait_s) {}
+
+int RotatingGroupPool::busy_at(double t) const {
+  int busy = 0;
+  for (double until : busy_until_)
+    if (until > t) ++busy;
+  return busy;
+}
+
+GroupAdmission RotatingGroupPool::admit(double t_ready, double runtime_s) {
+  GroupAdmission adm;
+  adm.busy_before = busy_at(t_ready);
+  // Occupancy is recorded before the admission decision: an attempt that
+  // finds every group busy is exactly the full-partition-saturation
+  // instant, and it must register in the peak even when the job is dropped.
+  peak_busy_ = std::max(peak_busy_, adm.busy_before);
+
+  // The group that frees up earliest takes the newest forecast.
+  std::size_t best = 0;
+  for (std::size_t g = 1; g < busy_until_.size(); ++g)
+    if (busy_until_[g] < busy_until_[best]) best = g;
+
+  const double t_start = std::max(t_ready, busy_until_[best]);
+  if (t_start - t_ready > max_wait_s_) {
+    // No group frees up within the wait budget: the job is skipped (a gap
+    // in Fig 5, not a delay — the next cycle brings fresher data anyway).
+    return adm;
+  }
+  adm.admitted = true;
+  adm.group = static_cast<int>(best);
+  adm.t_start = t_start;
+  adm.t_done = t_start + runtime_s;
+  busy_until_[best] = adm.t_done;
+  peak_busy_ = std::max(peak_busy_, busy_at(t_start));
+  return adm;
+}
+
+void RotatingGroupPool::reset() {
+  std::fill(busy_until_.begin(), busy_until_.end(), 0.0);
+  peak_busy_ = 0;
+}
+
 ForecastScheduler::ForecastScheduler(SchedulerConfig cfg) : cfg_(cfg) {}
 
 std::vector<ForecastJob> ForecastScheduler::simulate(
     std::size_t n_cycles, const std::vector<double>* runtimes) {
-  std::vector<double> busy_until(static_cast<std::size_t>(cfg_.n_groups),
-                                 0.0);
+  // Admission is instantaneous-or-skipped here (wait budget 0): a cycle
+  // whose product forecast finds no free group appears as a gap in Fig 5.
+  RotatingGroupPool pool(cfg_.n_groups, 0.0);
   std::vector<ForecastJob> jobs;
   jobs.reserve(n_cycles);
-  peak_nodes_ = 0;
 
   for (std::size_t c = 0; c < n_cycles; ++c) {
     const double t = double(c) * cfg_.interval_s;
     const double rt =
         (runtimes && c < runtimes->size()) ? (*runtimes)[c] : cfg_.runtime_s;
+    const GroupAdmission adm = pool.admit(t, rt);
     ForecastJob job;
     job.t_init = t;
-    // Pick the group that frees up earliest.
-    int best = 0;
-    for (int g = 1; g < cfg_.n_groups; ++g)
-      if (busy_until[static_cast<std::size_t>(g)] <
-          busy_until[static_cast<std::size_t>(best)])
-        best = g;
-    if (busy_until[static_cast<std::size_t>(best)] > t) {
-      // No group free at the admission instant: the cycle's product forecast
-      // is skipped (appears as a gap in Fig 5, not a delay — the next cycle
-      // brings fresher data anyway).
+    if (!adm.admitted) {
       job.dropped = true;
-      jobs.push_back(job);
-      continue;
+      job.groups_busy = adm.busy_before;  // == n_groups: saturated
+    } else {
+      job.group = adm.group;
+      job.t_start = adm.t_start;
+      job.t_done = adm.t_done;
+      job.groups_busy = adm.busy_before + 1;
     }
-    job.group = best;
-    job.t_start = t;
-    job.t_done = t + rt;
-    busy_until[static_cast<std::size_t>(best)] = job.t_done;
     jobs.push_back(job);
-
-    // Node accounting: count groups busy at this instant.
-    int busy = 0;
-    for (int g = 0; g < cfg_.n_groups; ++g)
-      if (busy_until[static_cast<std::size_t>(g)] > t) ++busy;
-    peak_nodes_ = std::max(peak_nodes_, busy * nodes_per_group());
   }
+  peak_nodes_ = pool.peak_busy() * nodes_per_group();
   return jobs;
 }
 

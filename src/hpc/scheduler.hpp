@@ -9,12 +9,70 @@
 // admitting the newest forecast, giving one completed product per interval
 // as long as  n_groups * interval >= runtime  (with the default 4 x 30 s =
 // 120 s = the ~2-minute runtime, exactly the operational balance).
+//
+// The admission policy itself lives in RotatingGroupPool and is shared by
+// every consumer — ForecastScheduler::simulate here, the Fig 5 discrete-
+// event twin (workflow::OperationSimulator) and, in wall-clock form, the
+// real-thread workflow::PipelinedDriver — so drop/queue semantics cannot
+// drift between the model and the implementation (a drift of exactly that
+// kind is how the peak-node accounting bug below went unnoticed).
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 namespace bda::hpc {
+
+/// Outcome of one admission attempt against the rotating groups.
+struct GroupAdmission {
+  bool admitted = false;
+  int group = -1;        ///< group that runs the job (-1 when dropped)
+  double t_start = 0;    ///< when the job actually starts (>= t_ready)
+  double t_done = 0;     ///< t_start + runtime
+  /// Groups busy at the instant the job asked for a slot (before this
+  /// admission).  On a drop this equals n_groups: the partition is
+  /// saturated — which is why occupancy must be sampled on the dropped
+  /// branch too, not only after successful assignments.
+  int busy_before = 0;
+};
+
+/// The rotating-group admission policy in virtual time.
+///
+/// A job arriving at `t_ready` goes to the group that frees up earliest.
+/// If that group is still busy, the job may queue up to `max_wait_s`
+/// (ForecastScheduler uses 0: admission is instantaneous or skipped;
+/// OperationSimulator allows a short wait before a fresher analysis
+/// supersedes the cycle).  Beyond the budget the job is dropped — a gap in
+/// Fig 5, not a delay.
+class RotatingGroupPool {
+ public:
+  explicit RotatingGroupPool(int n_groups, double max_wait_s = 0.0);
+
+  /// Attempt to place one job of `runtime_s` arriving at `t_ready`.
+  /// Occupancy (busy_before, peak) is recorded whether or not the job is
+  /// admitted.
+  GroupAdmission admit(double t_ready, double runtime_s);
+
+  /// Groups whose current job is still running at time `t`.
+  int busy_at(double t) const;
+
+  /// Highest simultaneous group occupancy seen by any admission attempt —
+  /// including dropped ones, where occupancy is by definition n_groups.
+  int peak_busy() const { return peak_busy_; }
+
+  int n_groups() const { return static_cast<int>(busy_until_.size()); }
+  double busy_until(int g) const {
+    return busy_until_[static_cast<std::size_t>(g)];
+  }
+
+  /// Forget all jobs and the occupancy peak.
+  void reset();
+
+ private:
+  std::vector<double> busy_until_;
+  double max_wait_s_ = 0.0;
+  int peak_busy_ = 0;
+};
 
 struct SchedulerConfig {
   int total_nodes = 880;     ///< part <2> partition size
@@ -29,6 +87,9 @@ struct ForecastJob {
   double t_done = 0;      ///< completion (product file written)
   int group = -1;         ///< which node group ran it
   bool dropped = false;   ///< no group free at admission time
+  /// Groups busy at the admission instant, counting this job if admitted.
+  /// A dropped job records n_groups: full-partition saturation.
+  int groups_busy = 0;
 };
 
 /// Simulate `n_cycles` admissions (one per interval); returns one JobRecord
@@ -46,7 +107,9 @@ class ForecastScheduler {
   int nodes_per_group() const { return cfg_.total_nodes / cfg_.n_groups; }
   const SchedulerConfig& config() const { return cfg_; }
 
-  /// Peak simultaneous node usage of the last simulate() call.
+  /// Peak simultaneous node usage of the last simulate() call.  Sampled on
+  /// every admission attempt, dropped ones included (a drop means every
+  /// group is busy, i.e. the full partition is in use).
   int peak_nodes_used() const { return peak_nodes_; }
 
  private:

@@ -31,27 +31,43 @@ TransferResult JitDtLink::transfer(const std::vector<std::uint8_t>& data,
   double clock = cfg_.session_overhead_s;
   std::size_t acked = 0;  // bytes safely delivered (resume point)
   int restarts = 0;
+  int forced_stalls = faults_.force_first_stalls;
 
   while (acked < data.size()) {
     const std::size_t n = std::min(cfg_.chunk_bytes, data.size() - acked);
-    const bool stall =
-        faults_.stall_probability > 0.0 && faults_.rng &&
-        faults_.rng->uniform() < faults_.stall_probability;
+    bool stall = false;
+    if (forced_stalls > 0) {
+      --forced_stalls;
+      stall = true;
+    } else if (acked >= faults_.stall_after_bytes) {
+      stall = true;  // the channel died mid-transfer
+    } else if (faults_.stall_probability > 0.0 && faults_.rng) {
+      stall = faults_.rng->uniform() < faults_.stall_probability;
+    }
     if (stall) {
-      // Watchdog: no progress for stall_timeout_s -> restart the session
-      // and resume from the last acknowledged chunk.
+      // Watchdog: no progress for stall_timeout_s.  With restart budget
+      // left, restart the session and resume from the last acknowledged
+      // chunk; otherwise declare failure — after exactly cfg_.max_restarts
+      // restarts have been spent (the documented semantics; `restarts`
+      // counts restarts actually performed, never the final give-up).
       clock += cfg_.stall_timeout_s;
-      ++restarts;
-      log_warn("JIT-DT: stall detected at byte ", acked, ", restart #",
-               restarts);
-      if (restarts > cfg_.max_restarts) {
+      if (restarts >= cfg_.max_restarts) {
+        // Failure delivers only what was acknowledged: truncate `out` to
+        // the resumable prefix instead of handing back a full-size buffer
+        // whose tail was never copied.
+        out.resize(acked);
         res.success = false;
         res.elapsed_s = clock;
         res.restarts = restarts;
+        res.bytes = acked;
         res.crc_ok = false;
-        log_error("JIT-DT: transfer failed after ", restarts, " restarts");
+        log_error("JIT-DT: transfer failed at byte ", acked, " after ",
+                  restarts, " restarts");
         return res;
       }
+      ++restarts;
+      log_warn("JIT-DT: stall detected at byte ", acked, ", restart #",
+               restarts);
       clock += cfg_.session_overhead_s;  // reconnect
       continue;
     }

@@ -28,14 +28,20 @@ struct JitDtConfig {
   double latency_s = 0.002;              ///< per-chunk acknowledgement RTT
   double session_overhead_s = 2.0;       ///< connect + metadata handshake
   double stall_timeout_s = 5.0;          ///< watchdog threshold
-  int max_restarts = 3;                  ///< before declaring failure
+  /// Restart budget: up to this many restarts are performed; the stall
+  /// after the budget is exhausted declares failure.
+  int max_restarts = 3;
 };
 
 struct TransferResult {
   bool success = false;
   double elapsed_s = 0;    ///< virtual-clock transfer time
-  int restarts = 0;        ///< watchdog-triggered restarts
-  std::size_t bytes = 0;   ///< payload delivered
+  /// Watchdog-triggered restarts actually performed (<= max_restarts; the
+  /// final give-up is not a restart and is not counted).
+  int restarts = 0;
+  /// Payload delivered: the full size on success, the acknowledged prefix
+  /// (== out.size()) on failure.
+  std::size_t bytes = 0;
   bool crc_ok = false;     ///< end-to-end integrity check
 };
 
@@ -44,6 +50,15 @@ struct TransferResult {
 struct FaultModel {
   double stall_probability = 0.0;
   Rng* rng = nullptr;  ///< required when stall_probability > 0
+  /// Deterministically stall the first N chunk attempts (then fall back to
+  /// the probabilistic model).  Lets tests pin the restart-budget
+  /// semantics exactly.
+  int force_first_stalls = 0;
+  /// Deterministically stall every attempt once at least this many bytes
+  /// have been acknowledged — a channel that dies mid-transfer.  Combined
+  /// with max_restarts it pins the truncate-to-acked-prefix failure
+  /// contract.  Disabled by default.
+  std::size_t stall_after_bytes = SIZE_MAX;
 };
 
 class JitDtLink {
@@ -51,7 +66,9 @@ class JitDtLink {
   explicit JitDtLink(JitDtConfig cfg = {}, FaultModel faults = {});
 
   /// Move `data` through the channel into `out`.  Bytes are really copied
-  /// chunk by chunk; elapsed time comes from the channel model.
+  /// chunk by chunk; elapsed time comes from the channel model.  On
+  /// failure `out` holds only the acknowledged prefix (the resume point),
+  /// never a full-size buffer with an uninitialized tail.
   TransferResult transfer(const std::vector<std::uint8_t>& data,
                           std::vector<std::uint8_t>& out);
 

@@ -19,7 +19,7 @@ scale::ModelConfig adjusted_model(const BdaSystemConfig& cfg) {
 
 BdaSystem::BdaSystem(const scale::Grid& grid, const scale::Sounding& sounding,
                      BdaSystemConfig cfg)
-    : grid_(grid), cfg_(cfg), rng_(cfg.seed),
+    : grid_(grid), cfg_(cfg), sounding_(sounding), rng_(cfg.seed),
       nature_(grid_, sounding, adjusted_model(cfg)),
       ens_(grid_, sounding, adjusted_model(cfg), cfg.n_members),
       radar_(grid_, cfg.scan, cfg.radar),
@@ -110,52 +110,79 @@ pawr::VolumeScan BdaSystem::observe_nature() {
   return radar_.observe(nature_.state(), time_, rng_);
 }
 
-CycleResult BdaSystem::cycle() {
-  CycleResult res;
+BdaSystem::ObservedScans BdaSystem::advance_and_observe() {
+  ObservedScans out;
 
   // Fig 3 cadence: refresh the nested lateral boundary when the outer
   // domain's 3-hourly (scaled) forecast is due.
   refresh_outer_boundary();
 
   // Nature evolves to the new observation time.
-  nature_.advance(real(cfg_.cycle_s));
+  {
+    util::Metrics::ScopedTimer t(metrics_, "cycle.nature");
+    nature_.advance(real(cfg_.cycle_s));
+  }
   time_ = nature_.time();
 
-  // Radar completes its volume scan of the truth (T_obs).
-  pawr::VolumeScan scan = radar_.observe(nature_.state(), time_, rng_);
-  res.t_obs = time_;
-
-  // Optionally push the scan bytes through JIT-DT (the real data path).
-  if (cfg_.transfer_scans) {
-    jitdt::JitDtLink link(cfg_.jitdt);
-    const auto bytes = pawr::encode_scan(scan);
-    std::vector<std::uint8_t> delivered;
-    res.transfer = link.transfer(bytes, delivered);
-    scan = pawr::decode_scan(delivered);
+  // Radars complete their volume scans of the truth (T_obs).  All random
+  // draws of the cycle happen here, in site order.
+  {
+    util::Metrics::ScopedTimer t(metrics_, "cycle.observe");
+    out.scan = radar_.observe(nature_.state(), time_, rng_);
+    out.extra.reserve(extra_radars_.size());
+    for (auto& site : extra_radars_)
+      out.extra.push_back(site.observe(nature_.state(), time_, rng_));
   }
+  out.partial.t_obs = time_;
+  return out;
+}
 
+void BdaSystem::transfer_scan(ObservedScans& scans) const {
+  // Optionally push the primary scan's bytes through JIT-DT (the real
+  // data path).
+  if (!cfg_.transfer_scans) return;
+  util::Metrics::ScopedTimer t(metrics_, "cycle.jitdt");
+  jitdt::JitDtLink link(cfg_.jitdt);
+  const auto bytes = pawr::encode_scan(scans.scan);
+  std::vector<std::uint8_t> delivered;
+  scans.partial.transfer = link.transfer(bytes, delivered);
+  scans.scan = pawr::decode_scan(delivered);
+}
+
+letkf::ObsVector BdaSystem::regrid_observations(
+    const ObservedScans& scans) const {
+  util::Metrics::ScopedTimer t(metrics_, "cycle.regrid");
   // Regrid to analysis-grid observations (Table 2: 500-m resolution).
-  auto obs =
-      pawr::regrid_scan(scan, grid_, cfg_.radar.radar_x, cfg_.radar.radar_y,
-                        cfg_.radar.radar_z, cfg_.obsgen);
-
+  auto obs = pawr::regrid_scan(scans.scan, grid_, cfg_.radar.radar_x,
+                               cfg_.radar.radar_y, cfg_.radar.radar_z,
+                               cfg_.obsgen);
   // Multi-radar coverage: every extra site scans the same truth; its
   // observations (carrying their own beam origin for Doppler) are appended.
-  for (std::size_t r = 0; r < extra_radars_.size(); ++r) {
+  for (std::size_t r = 0; r < scans.extra.size(); ++r) {
     const auto& rc = cfg_.extra_radars[r];
-    const auto extra_scan =
-        extra_radars_[r].observe(nature_.state(), time_, rng_);
-    const auto extra = pawr::regrid_scan(extra_scan, grid_, rc.radar_x,
+    const auto extra = pawr::regrid_scan(scans.extra[r], grid_, rc.radar_x,
                                          rc.radar_y, rc.radar_z, cfg_.obsgen);
     obs.insert(obs.end(), extra.begin(), extra.end());
   }
+  return obs;
+}
+
+void BdaSystem::advance_ensemble() {
+  // <1-2>: ensemble background at the observation time.
+  util::Metrics::ScopedTimer t(metrics_, "cycle.ensemble");
+  ens_.advance(real(cfg_.cycle_s));
+}
+
+CycleResult BdaSystem::finish_analysis(CycleResult partial,
+                                       const letkf::ObsVector& obs) {
+  CycleResult res = std::move(partial);
   res.n_obs = obs.size();
 
-  // <1-2>: ensemble background at the observation time.
-  ens_.advance(real(cfg_.cycle_s));
-
   // <1-1>: LETKF analysis.
-  res.analysis = letkf_.analyze(ens_, obs, obsop_);
+  {
+    util::Metrics::ScopedTimer t(metrics_, "cycle.letkf");
+    res.analysis = letkf_.analyze(ens_, obs, obsop_);
+  }
   if (cfg_.adaptive_inflation) {
     adaptive_infl_.update(res.analysis.moments);
     letkf_.set_inflation(adaptive_infl_.rho());
@@ -163,7 +190,20 @@ CycleResult BdaSystem::cycle() {
 
   RField2D nat = reflectivity_map(nature_.state());
   res.nature_max_dbz = nat.interior_max();
+  if (metrics_) {
+    metrics_->count("cycle.cycles");
+    metrics_->count("cycle.obs", res.n_obs);
+  }
   return res;
+}
+
+CycleResult BdaSystem::cycle() {
+  util::Metrics::ScopedTimer total(metrics_, "cycle.total");
+  ObservedScans scans = advance_and_observe();
+  transfer_scan(scans);
+  const letkf::ObsVector obs = regrid_observations(scans);
+  advance_ensemble();
+  return finish_analysis(std::move(scans.partial), obs);
 }
 
 RField2D BdaSystem::reflectivity_map(const scale::State& s,
@@ -186,7 +226,8 @@ std::vector<RField2D> run_forecast_maps(const scale::Grid& grid,
                                         const scale::ModelConfig& cfg,
                                         const scale::State& init,
                                         double lead_s, double out_every_s,
-                                        real height_m) {
+                                        real height_m, util::Metrics* metrics) {
+  util::Metrics::ScopedTimer timer(metrics, "forecast.product");
   scale::Model fc(grid, sounding, cfg);
   fc.state() = init;
 
@@ -211,6 +252,7 @@ std::vector<RField2D> run_forecast_maps(const scale::Grid& grid,
     fc.advance(real(out_every_s));
     maps.push_back(map_now());
   }
+  if (metrics) metrics->count("forecast.maps", maps.size());
   return maps;
 }
 

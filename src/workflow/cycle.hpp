@@ -24,6 +24,7 @@
 #include "pawr/obsgen.hpp"
 #include "scale/ensemble.hpp"
 #include "scale/model.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace bda::workflow {
@@ -91,8 +92,57 @@ class BdaSystem {
   void perturb_ensemble();
 
   /// One full 30-s cycle: advance nature, observe, assimilate, advance
-  /// ensemble to the new analysis time.
+  /// ensemble to the new analysis time.  Composes the staged API below in
+  /// serial order; PipelinedDriver composes the same stages with real
+  /// concurrency and produces bitwise-identical analyses.
   CycleResult cycle();
+
+  // --- Staged cycle API (Fig 2 decomposition) -----------------------------
+  //
+  // RNG discipline: all random draws of a cycle (radar sampling noise, one
+  // draw per site) happen in advance_and_observe(), on the calling thread.
+  // regrid_observations() is const and pure with respect to the system
+  // state, and advance_ensemble() is rng-free — which is what lets the
+  // driver overlap the JIT-DT/regrid work with the <1-2> ensemble advance
+  // without perturbing the random stream or the results.
+
+  /// Scans of one cycle plus the partially filled result record.
+  struct ObservedScans {
+    CycleResult partial;                  ///< t_obs (and transfer) filled
+    pawr::VolumeScan scan;                ///< primary site's volume scan
+    std::vector<pawr::VolumeScan> extra;  ///< one per extra radar site
+  };
+
+  /// Stage T_obs: refresh the nested boundary if due, advance nature to
+  /// the new observation time, and complete all volume scans.
+  ObservedScans advance_and_observe();
+
+  /// Optional JIT-DT stage: move the primary scan's bytes through the
+  /// fail-safe channel (no-op unless cfg.transfer_scans), filling
+  /// partial.transfer and replacing the scan with the delivered copy.
+  /// Rng-free and const on the system — safe to overlap with
+  /// advance_ensemble().
+  void transfer_scan(ObservedScans& scans) const;
+
+  /// Regrid all scans to analysis-grid observations (Table 2: 500 m).
+  /// Const and thread-safe against advance_ensemble(): touches only the
+  /// grid and configuration.
+  letkf::ObsVector regrid_observations(const ObservedScans& scans) const;
+
+  /// <1-2>: ensemble background at the new observation time.
+  void advance_ensemble();
+
+  /// <1-1>: LETKF analysis (plus adaptive inflation and truth
+  /// diagnostics); completes the cycle record started by
+  /// advance_and_observe().
+  CycleResult finish_analysis(CycleResult partial,
+                              const letkf::ObsVector& obs);
+
+  /// Attach a metrics sink (may be null): per-stage timers
+  /// ("cycle.nature", "cycle.observe", "cycle.jitdt", "cycle.regrid",
+  /// "cycle.ensemble", "cycle.letkf", "cycle.total") and counters
+  /// ("cycle.cycles", "cycle.obs") are recorded through it.
+  void set_metrics(util::Metrics* metrics) { metrics_ = metrics; }
 
   /// Observe the nature run now (without assimilating) — for verification.
   pawr::VolumeScan observe_nature();
@@ -103,6 +153,7 @@ class BdaSystem {
   scale::Model& nature() { return nature_; }
   scale::Ensemble& ensemble() { return ens_; }
   const scale::Grid& grid() const { return grid_; }
+  const scale::Sounding& sounding() const { return sounding_; }
   const BdaSystemConfig& config() const { return cfg_; }
   double time() const { return time_; }
   Rng& rng() { return rng_; }
@@ -110,6 +161,7 @@ class BdaSystem {
  private:
   scale::Grid grid_;
   BdaSystemConfig cfg_;
+  scale::Sounding sounding_;
   Rng rng_;
   scale::Model nature_;
   scale::Ensemble ens_;
@@ -119,6 +171,7 @@ class BdaSystem {
   letkf::AdaptiveInflation adaptive_infl_;
   letkf::ObsOperator obsop_;
   double time_ = 0.0;
+  util::Metrics* metrics_ = nullptr;  ///< optional stage-timing sink
 
   // One-way nesting chain (only when cfg.use_outer_domain).
   void refresh_outer_boundary();
@@ -132,12 +185,16 @@ class BdaSystem {
 
 /// Run a forecast from one initial state for `lead_s` seconds and return the
 /// reflectivity map every `out_every_s` (first entry = initial time).  Used
-/// by the product forecast <2> and the Fig 7 skill curves.
+/// by the product forecast <2> and the Fig 7 skill curves.  `metrics` (may
+/// be null) receives the "forecast.product" stage timer and the
+/// "forecast.maps" counter; it is safe to share one sink across concurrent
+/// forecasts.
 std::vector<RField2D> run_forecast_maps(const scale::Grid& grid,
                                         const scale::Sounding& sounding,
                                         const scale::ModelConfig& cfg,
                                         const scale::State& init,
                                         double lead_s, double out_every_s,
-                                        real height_m = 2000.0f);
+                                        real height_m = 2000.0f,
+                                        util::Metrics* metrics = nullptr);
 
 }  // namespace bda::workflow

@@ -71,9 +71,11 @@ std::vector<CycleRecord> OperationSimulator::run(std::size_t n_cycles,
     return false;
   };
 
-  // --- forecast scheduler state (rotating groups, part <2>).
-  std::vector<double> busy_until(
-      static_cast<std::size_t>(cfg_.scheduler.n_groups), 0.0);
+  // --- forecast scheduler state (rotating groups, part <2>): the same
+  // admission policy object as ForecastScheduler and the PipelinedDriver,
+  // so drop/queue semantics cannot drift between the consumers.
+  hpc::RotatingGroupPool pool(cfg_.scheduler.n_groups,
+                              cfg_.max_forecast_wait_s);
 
   jitdt::JitDtLink link(cfg_.jitdt);
   const double domain_km2 = 128.0 * 128.0;
@@ -125,26 +127,18 @@ std::vector<CycleRecord> OperationSimulator::run(std::size_t n_cycles,
         cfg_.fugaku.nodes_forecast));
     if (rng.uniform() < cfg_.slow_cycle_prob)
       fcst_runtime *= cfg_.slow_factor;
-    int best = 0;
-    for (int g = 1; g < cfg_.scheduler.n_groups; ++g)
-      if (busy_until[static_cast<std::size_t>(g)] <
-          busy_until[static_cast<std::size_t>(best)])
-        best = g;
     // The job may queue briefly for the earliest-free group; beyond the
     // wait budget the cycle is skipped (a fresher analysis supersedes it).
-    const double t_start =
-        std::max(t_ready, busy_until[static_cast<std::size_t>(best)]);
-    if (t_start - t_ready > cfg_.max_forecast_wait_s) {
+    const double t_product_write = hpc::BdaCostModel::t_file(
+        cfg_.product_bytes, cfg_.disk_bw, 0.5);
+    const auto adm = pool.admit(t_ready, fcst_runtime + t_product_write);
+    if (!adm.admitted) {
       recs.push_back(r);
       continue;
     }
-    const double t_product_write = hpc::BdaCostModel::t_file(
-        cfg_.product_bytes, cfg_.disk_bw, 0.5);
-    const double t_done = t_start + fcst_runtime + t_product_write;
-    busy_until[static_cast<std::size_t>(best)] = t_done;
 
     r.t_fcst = fcst_runtime + t_product_write;
-    r.tts = t_done - r.t_obs;
+    r.tts = adm.t_done - r.t_obs;
     r.produced = true;
     recs.push_back(r);
   }

@@ -75,5 +75,122 @@ TEST(ForecastScheduler, DroppedJobsHaveNoGroup) {
     }
 }
 
+// Regression for the peak-node accounting bug: occupancy used to be sampled
+// only after successful assignments, skipping the `dropped` branch — the
+// one branch where the partition is by definition saturated.  A drop must
+// register full-partition occupancy, both in the per-job record and in
+// peak_nodes_used().
+TEST(ForecastScheduler, DropRecordsFullPartitionOccupancy) {
+  SchedulerConfig cfg{880, 4, 30.0, 1000.0};  // every group sticks for ages
+  ForecastScheduler sched(cfg);
+  const auto jobs = sched.simulate(10);
+  bool saw_drop = false;
+  for (const auto& j : jobs) {
+    if (j.dropped) {
+      saw_drop = true;
+      EXPECT_EQ(j.groups_busy, cfg.n_groups);  // saturation, observed
+    } else {
+      EXPECT_GE(j.groups_busy, 1);
+      EXPECT_LE(j.groups_busy, cfg.n_groups);
+    }
+  }
+  ASSERT_TRUE(saw_drop);
+  EXPECT_EQ(sched.peak_nodes_used(), cfg.total_nodes);
+}
+
+TEST(ForecastScheduler, SingleGroupDropPeaksAtOneGroup) {
+  // With one group and a long runtime, every cycle after the first drops;
+  // the peak is exactly one group's nodes — never zero (the pre-fix
+  // behavior when the only admission happened at zero occupancy).
+  ForecastScheduler sched({880, 1, 30.0, 10000.0});
+  const auto jobs = sched.simulate(5);
+  EXPECT_FALSE(jobs[0].dropped);
+  EXPECT_EQ(jobs[0].groups_busy, 1);
+  for (std::size_t c = 1; c < jobs.size(); ++c) {
+    EXPECT_TRUE(jobs[c].dropped);
+    EXPECT_EQ(jobs[c].groups_busy, 1);  // the single group == saturation
+  }
+  EXPECT_EQ(sched.peak_nodes_used(), 880);
+}
+
+// --- RotatingGroupPool: the one shared admission policy -------------------
+
+TEST(RotatingGroupPool, AdmitsToEarliestFreeGroup) {
+  RotatingGroupPool pool(3);
+  const auto a = pool.admit(0.0, 100.0);
+  const auto b = pool.admit(10.0, 50.0);
+  const auto c = pool.admit(20.0, 50.0);
+  EXPECT_TRUE(a.admitted && b.admitted && c.admitted);
+  EXPECT_NE(a.group, b.group);
+  EXPECT_NE(b.group, c.group);
+  EXPECT_NE(a.group, c.group);
+  // Group b frees at 60, c at 70, a at 100: next job takes b's group.
+  const auto d = pool.admit(65.0, 10.0);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.group, b.group);
+  EXPECT_DOUBLE_EQ(d.t_start, 65.0);
+}
+
+TEST(RotatingGroupPool, ZeroWaitDropsWhenSaturated) {
+  RotatingGroupPool pool(2, 0.0);
+  EXPECT_TRUE(pool.admit(0.0, 100.0).admitted);
+  EXPECT_TRUE(pool.admit(0.0, 100.0).admitted);
+  const auto adm = pool.admit(1.0, 100.0);
+  EXPECT_FALSE(adm.admitted);
+  EXPECT_EQ(adm.group, -1);
+  EXPECT_EQ(adm.busy_before, 2);  // saturation observed on the drop path
+  EXPECT_EQ(pool.peak_busy(), 2);
+}
+
+TEST(RotatingGroupPool, WaitBudgetQueuesInsteadOfDropping) {
+  RotatingGroupPool pool(1, 15.0);
+  EXPECT_TRUE(pool.admit(0.0, 100.0).admitted);
+  // Frees at 100: a job ready at 90 queues 10 s (within budget)...
+  const auto q = pool.admit(90.0, 10.0);
+  EXPECT_TRUE(q.admitted);
+  EXPECT_DOUBLE_EQ(q.t_start, 100.0);
+  EXPECT_DOUBLE_EQ(q.t_done, 110.0);
+  // ...but one ready at 94 (16 s before the next free instant) is dropped.
+  EXPECT_FALSE(pool.admit(94.0, 10.0).admitted);
+}
+
+TEST(RotatingGroupPool, ResetForgetsOccupancy) {
+  RotatingGroupPool pool(2);
+  pool.admit(0.0, 50.0);
+  pool.admit(0.0, 50.0);
+  EXPECT_EQ(pool.peak_busy(), 2);
+  pool.reset();
+  EXPECT_EQ(pool.peak_busy(), 0);
+  EXPECT_EQ(pool.busy_at(10.0), 0);
+  EXPECT_TRUE(pool.admit(0.0, 1.0).admitted);
+}
+
+// Satellite of the dedup fix: ForecastScheduler::simulate must agree with
+// the shared policy call for call — same groups, same start/done times,
+// same drops.  (Before the refactor the rotating-group logic lived twice,
+// here and in OperationSimulator, and could drift.)
+TEST(RotatingGroupPool, SchedulerAgreesWithSharedPolicy) {
+  SchedulerConfig cfg{880, 3, 30.0, 100.0};
+  std::vector<double> runtimes;
+  for (int c = 0; c < 40; ++c)
+    runtimes.push_back(80.0 + 13.0 * double(c % 5));
+
+  ForecastScheduler sched(cfg);
+  const auto jobs = sched.simulate(runtimes.size(), &runtimes);
+
+  RotatingGroupPool pool(cfg.n_groups, 0.0);
+  for (std::size_t c = 0; c < runtimes.size(); ++c) {
+    const auto adm = pool.admit(double(c) * cfg.interval_s, runtimes[c]);
+    EXPECT_EQ(jobs[c].dropped, !adm.admitted) << "cycle " << c;
+    if (adm.admitted) {
+      EXPECT_EQ(jobs[c].group, adm.group);
+      EXPECT_DOUBLE_EQ(jobs[c].t_start, adm.t_start);
+      EXPECT_DOUBLE_EQ(jobs[c].t_done, adm.t_done);
+    }
+  }
+  EXPECT_EQ(sched.peak_nodes_used(),
+            pool.peak_busy() * sched.nodes_per_group());
+}
+
 }  // namespace
 }  // namespace bda::hpc

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "jitdt/transfer.hpp"
 #include "util/codec.hpp"
 #include "util/logging.hpp"
@@ -94,8 +96,83 @@ TEST(JitDt, GivesUpAfterMaxRestarts) {
   const auto res = link.transfer(data, out);
   Logger::global().set_sink(std::move(prev));
   EXPECT_FALSE(res.success);
-  EXPECT_EQ(res.restarts, 3);  // max_restarts exceeded on the 3rd
+  // The documented semantics: `restarts` counts restarts actually
+  // performed — exactly the budget; the final give-up is not a restart.
+  EXPECT_EQ(res.restarts, cfg.max_restarts);
   EXPECT_FALSE(res.crc_ok);
+  // Nothing ever got through (every attempt stalled), and the elapsed time
+  // is exactly the initial connect + (budget + 1) watchdog timeouts +
+  // budget reconnects — no phantom reconnect after the final stall.
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(res.bytes, 0u);
+  EXPECT_DOUBLE_EQ(res.elapsed_s,
+                   cfg.session_overhead_s * (1 + cfg.max_restarts) +
+                       cfg.stall_timeout_s * (cfg.max_restarts + 1));
+}
+
+// Regression: on failure `out` used to stay at full payload size with only
+// the acknowledged prefix actually copied — downstream code reading
+// out.size() bytes would consume an uninitialized tail.  A failed transfer
+// must deliver exactly the acked prefix, byte-identical to the source.
+TEST(JitDt, PartialProgressThenFailureKeepsDeliveredChunks) {
+  // Two chunks make it through, then the channel dies for good: the result
+  // holds exactly those two chunks (the resume point), byte-identical to
+  // the source — not a full-size buffer with an uninitialized tail.
+  JitDtConfig cfg;
+  cfg.chunk_bytes = 64u << 10;
+  cfg.max_restarts = 2;
+  FaultModel faults;
+  faults.stall_after_bytes = 2 * cfg.chunk_bytes;
+  auto prev = Logger::global().set_sink([](LogLevel, const std::string&) {});
+  JitDtLink link(cfg, faults);
+  const auto data = payload(8 * cfg.chunk_bytes);
+  std::vector<std::uint8_t> out;
+  const auto res = link.transfer(data, out);
+  Logger::global().set_sink(std::move(prev));
+  ASSERT_FALSE(res.success);
+  EXPECT_EQ(res.restarts, cfg.max_restarts);
+  EXPECT_EQ(res.bytes, 2 * cfg.chunk_bytes);
+  ASSERT_EQ(out.size(), 2 * cfg.chunk_bytes);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin()));
+}
+
+TEST(JitDt, ZeroRestartBudgetFailsOnFirstStall) {
+  JitDtConfig cfg;
+  cfg.chunk_bytes = 64u << 10;
+  cfg.max_restarts = 0;
+  FaultModel faults;
+  faults.force_first_stalls = 1;
+  auto prev = Logger::global().set_sink([](LogLevel, const std::string&) {});
+  JitDtLink link(cfg, faults);
+  const auto data = payload(256u << 10);
+  std::vector<std::uint8_t> out;
+  const auto res = link.transfer(data, out);
+  Logger::global().set_sink(std::move(prev));
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(res.restarts, 0);  // no restart was ever performed
+  EXPECT_TRUE(out.empty());
+  EXPECT_DOUBLE_EQ(res.elapsed_s,
+                   cfg.session_overhead_s + cfg.stall_timeout_s);
+}
+
+TEST(JitDt, StallBudgetExactlyExhaustedStillDelivers) {
+  // Exactly max_restarts forced stalls: the budget covers them all and the
+  // payload arrives complete — the off-by-one would have failed this.
+  JitDtConfig cfg;
+  cfg.chunk_bytes = 64u << 10;
+  cfg.max_restarts = 3;
+  FaultModel faults;
+  faults.force_first_stalls = 3;
+  auto prev = Logger::global().set_sink([](LogLevel, const std::string&) {});
+  JitDtLink link(cfg, faults);
+  const auto data = payload(512u << 10);
+  std::vector<std::uint8_t> out;
+  const auto res = link.transfer(data, out);
+  Logger::global().set_sink(std::move(prev));
+  EXPECT_TRUE(res.success);
+  EXPECT_TRUE(res.crc_ok);
+  EXPECT_EQ(res.restarts, 3);
+  EXPECT_EQ(out, data);
 }
 
 TEST(JitDt, EmptyPayloadSucceedsImmediately) {

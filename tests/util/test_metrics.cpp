@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace bda::util {
+namespace {
+
+TEST(Metrics, CountersAccumulate) {
+  Metrics m;
+  EXPECT_EQ(m.counter("x"), 0u);
+  m.count("x");
+  m.count("x", 4);
+  m.count("y", 2);
+  EXPECT_EQ(m.counter("x"), 5u);
+  EXPECT_EQ(m.counter("y"), 2u);
+  EXPECT_EQ(m.counter_names(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Metrics, ObserveAndPercentiles) {
+  Metrics m;
+  for (int i = 1; i <= 100; ++i) m.observe("t", double(i));
+  EXPECT_EQ(m.samples("t"), 100u);
+  EXPECT_DOUBLE_EQ(m.total("t"), 5050.0);
+  EXPECT_NEAR(m.percentile("t", 50.0), 50.5, 0.6);
+  EXPECT_NEAR(m.percentile("t", 97.0), 97.0, 1.1);
+  EXPECT_DOUBLE_EQ(m.percentile("t", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.percentile("t", 100.0), 100.0);
+  // Unknown series are empty, not errors.
+  EXPECT_EQ(m.samples("missing"), 0u);
+  EXPECT_DOUBLE_EQ(m.percentile("missing", 50.0), 0.0);
+}
+
+TEST(Metrics, TimerStatsSummary) {
+  Metrics m;
+  m.observe("stage", 1.0);
+  m.observe("stage", 3.0);
+  m.observe("stage", 2.0);
+  const TimerStats s = m.timer_stats("stage");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.total_s, 6.0);
+  EXPECT_DOUBLE_EQ(s.mean_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.min_s, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_s, 3.0);
+  EXPECT_DOUBLE_EQ(s.p50_s, 2.0);
+}
+
+TEST(Metrics, ScopedTimerRecordsElapsed) {
+  Metrics m;
+  {
+    Metrics::ScopedTimer t(&m, "scope");
+  }
+  ASSERT_EQ(m.samples("scope"), 1u);
+  EXPECT_GE(m.total("scope"), 0.0);
+}
+
+TEST(Metrics, ScopedTimerNullSinkIsNoop) {
+  Metrics::ScopedTimer t(nullptr, "nothing");
+  EXPECT_DOUBLE_EQ(t.stop(), 0.0);  // no crash, nothing recorded
+}
+
+TEST(Metrics, ScopedTimerStopIsIdempotent) {
+  Metrics m;
+  Metrics::ScopedTimer t(&m, "once");
+  t.stop();
+  EXPECT_DOUBLE_EQ(t.stop(), 0.0);
+  EXPECT_EQ(m.samples("once"), 1u);
+}
+
+TEST(Metrics, JsonExportIsDeterministicAndStructured) {
+  Metrics m;
+  m.count("b", 2);
+  m.count("a", 1);
+  m.observe("z", 0.5);
+  const std::string json = m.to_json();
+  EXPECT_EQ(json, m.to_json());  // deterministic
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"p97_s\""), std::string::npos);
+  // Sorted keys: "a" appears before "b".
+  EXPECT_LT(json.find("\"a\""), json.find("\"b\""));
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  Metrics m;
+  m.count("c");
+  m.observe("t", 1.0);
+  m.reset();
+  EXPECT_EQ(m.counter("c"), 0u);
+  EXPECT_EQ(m.samples("t"), 0u);
+  EXPECT_TRUE(m.counter_names().empty());
+  EXPECT_TRUE(m.timer_names().empty());
+}
+
+TEST(Metrics, ConcurrentRecordingIsExact) {
+  // One shared sink hammered from several threads — the cycle thread, the
+  // regrid overlap task and the forecast workers all write concurrently in
+  // the pipelined driver.  Counts must be exact, not approximate.
+  Metrics m;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&m] {
+      for (int i = 0; i < kIters; ++i) {
+        m.count("shared");
+        m.observe("samples", 1.0);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(m.counter("shared"), std::uint64_t(kThreads) * kIters);
+  EXPECT_EQ(m.samples("samples"), std::size_t(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(m.total("samples"), double(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace bda::util
