@@ -16,8 +16,17 @@ double AdaptiveInflation::estimate(const InnovationMoments& m) {
   return (m.mean_innov2 - m.mean_obs_var) / m.mean_ens_var;
 }
 
+double AdaptiveInflation::estimate_floored(const InnovationMoments& m) const {
+  return std::max(double(rho_min_), estimate(m));
+}
+
 void AdaptiveInflation::update(const InnovationMoments& m) {
-  const double inst = estimate(m);
+  // Floor the instantaneous estimate before blending: a negative Desroziers
+  // ratio (innovations far below the error budget, e.g. one degenerate
+  // cycle) must not enter the temporal smoothing as if it were a usable
+  // inflation — previously only the final clamp rescued the stored rho,
+  // after the bogus value had already polluted the blend.
+  const double inst = estimate_floored(m);
   const double blended =
       double(rho_) * (1.0 - double(smoothing_)) + inst * double(smoothing_);
   rho_ = std::clamp(real(blended), rho_min_, rho_max_);

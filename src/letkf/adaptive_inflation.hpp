@@ -33,9 +33,18 @@ class AdaptiveInflation {
   explicit AdaptiveInflation(real rho_init = 1.0f, real smoothing = 0.3f,
                              real rho_min = 0.9f, real rho_max = 3.0f);
 
-  /// Instantaneous Desroziers estimate from one analysis (1.0 when the
-  /// sample is empty or degenerate).
+  /// Raw instantaneous Desroziers estimate from one analysis (1.0 when the
+  /// sample is empty or degenerate).  Contract: this is the *unclamped*
+  /// variance ratio — when innovations run far below the error budget it
+  /// is legitimately negative and unusable as an inflation factor.  Use
+  /// estimate_floored() (as update() does) for a value safe to apply.
   static double estimate(const InnovationMoments& m);
+
+  /// estimate() floored at the configured rho_min: the smallest inflation
+  /// this filter would ever apply.  Flooring *before* the temporal blend
+  /// keeps one garbage cycle (negative ratio) from dragging the smoothed
+  /// rho to the floor through the back door.
+  double estimate_floored(const InnovationMoments& m) const;
 
   /// Fold one analysis's moments into the smoothed inflation.
   void update(const InnovationMoments& m);

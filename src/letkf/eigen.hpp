@@ -11,16 +11,25 @@
 //                       implicit-shift QL (tql2), one matrix at a time,
 //                       allocating its own workspace: the "standard solver"
 //                       baseline.
-//   * BatchedSymEigen — the KeDV stand-in: identical numerics but batched,
-//                       with preallocated workspace reused across the batch
-//                       and a cache-blocked Householder update, single or
-//                       double precision.
+//   * BatchedSymEigen — the KeDV stand-in: `solve_batch` takes B same-size
+//                       problems in one contiguous block and runs the
+//                       Householder reduction step-interleaved across a
+//                       tile of matrices with preallocated scratch, so the
+//                       tile stays cache-resident through the O(n^3) panel
+//                       updates.  `solve` is the serial reference path.
 // Both are templated on the scalar for the precision ablation.
+//
+// Determinism contract: tred2 is factored into per-step functions and every
+// entry point (sym_eigen, BatchedSymEigen::solve, ::solve_batch) calls the
+// SAME function instantiations in the same per-matrix order, so the batched
+// results are bitwise-identical to the serial ones — interleaving only
+// reorders work *across* independent matrices, never within one.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -28,80 +37,95 @@ namespace bda::letkf {
 
 namespace detail {
 
+/// sqrt(a^2 + b^2) without intermediate overflow/underflow: |a| only a
+/// little above 1.8e19 makes a*a overflow in single precision, and
+/// subnormal inputs squared flush to zero.  Scaling by the larger magnitude
+/// keeps the squared term in [1/2, 1], the classic BLAS snrm2 trick.
 template <typename T>
 T hypot2(T a, T b) {
-  return std::sqrt(a * a + b * b);
+  const T aa = std::abs(a);
+  const T ab = std::abs(b);
+  const T hi = aa > ab ? aa : ab;
+  if (hi == T(0)) return T(0);
+  const T lo = aa > ab ? ab : aa;
+  const T r = lo / hi;
+  return hi * std::sqrt(T(1) + r * r);
 }
 
-/// Householder reduction of a real symmetric matrix to tridiagonal form,
-/// accumulating the orthogonal transform.  On input v holds A (row-major,
-/// n x n, symmetric); on output v holds the accumulated orthogonal matrix Q
-/// with A = Q T Q^T, d the diagonal of T and e the subdiagonal (e[0] = 0).
-/// This is the EISPACK tred2 algorithm.
+/// tred2 prologue: seed the working diagonal from the last matrix row.
 template <typename T>
-void tred2(std::size_t n, T* v, T* d, T* e) {
+void tred2_init(std::size_t n, const T* v, T* d) {
   for (std::size_t j = 0; j < n; ++j) d[j] = v[(n - 1) * n + j];
+}
 
-  for (std::size_t i = n - 1; i > 0; --i) {
-    const std::size_t l = i - 1;
-    T h = T(0), scale = T(0);
-    if (l > 0) {
-      for (std::size_t k = 0; k <= l; ++k) scale += std::abs(d[k]);
-      if (scale == T(0)) {
-        e[i] = d[l];
-        for (std::size_t j = 0; j <= l; ++j) {
-          d[j] = v[l * n + j];
-          v[i * n + j] = T(0);
-          v[j * n + i] = T(0);
-        }
-      } else {
-        for (std::size_t k = 0; k <= l; ++k) {
-          d[k] /= scale;
-          h += d[k] * d[k];
-        }
-        T f = d[l];
-        T g = (f > T(0)) ? -std::sqrt(h) : std::sqrt(h);
-        e[i] = scale * g;
-        h -= f * g;
-        d[l] = f - g;
-        for (std::size_t j = 0; j <= l; ++j) e[j] = T(0);
-
-        for (std::size_t j = 0; j <= l; ++j) {
-          f = d[j];
-          v[j * n + i] = f;
-          g = e[j] + v[j * n + j] * f;
-          for (std::size_t k = j + 1; k <= l; ++k) {
-            g += v[k * n + j] * d[k];
-            e[k] += v[k * n + j] * f;
-          }
-          e[j] = g;
-        }
-        f = T(0);
-        for (std::size_t j = 0; j <= l; ++j) {
-          e[j] /= h;
-          f += e[j] * d[j];
-        }
-        const T hh = f / (h + h);
-        for (std::size_t j = 0; j <= l; ++j) e[j] -= hh * d[j];
-        for (std::size_t j = 0; j <= l; ++j) {
-          f = d[j];
-          g = e[j];
-          for (std::size_t k = j; k <= l; ++k)
-            v[k * n + j] -= (f * e[k] + g * d[k]);
-          d[j] = v[l * n + j];
-          v[i * n + j] = T(0);
-        }
+/// One Householder reduction step of tred2 (row i, counting down from
+/// n - 1 to 1).  d and e are the per-matrix scratch carried across steps;
+/// the step touches only this matrix's data, which is what makes the
+/// batched step-interleaving in BatchedSymEigen bitwise-neutral.
+template <typename T>
+void tred2_step(std::size_t n, std::size_t i, T* v, T* d, T* e) {
+  const std::size_t l = i - 1;
+  T h = T(0), scale = T(0);
+  if (l > 0) {
+    for (std::size_t k = 0; k <= l; ++k) scale += std::abs(d[k]);
+    if (scale == T(0)) {
+      e[i] = d[l];
+      for (std::size_t j = 0; j <= l; ++j) {
+        d[j] = v[l * n + j];
+        v[i * n + j] = T(0);
+        v[j * n + i] = T(0);
       }
     } else {
-      e[i] = d[l];
-      d[l] = v[l * n + l];
-      v[i * n + l] = T(0);
-      v[l * n + i] = T(0);
-    }
-    d[i] = h;
-  }
+      for (std::size_t k = 0; k <= l; ++k) {
+        d[k] /= scale;
+        h += d[k] * d[k];
+      }
+      T f = d[l];
+      T g = (f > T(0)) ? -std::sqrt(h) : std::sqrt(h);
+      e[i] = scale * g;
+      h -= f * g;
+      d[l] = f - g;
+      for (std::size_t j = 0; j <= l; ++j) e[j] = T(0);
 
-  // Accumulate transformations.
+      for (std::size_t j = 0; j <= l; ++j) {
+        f = d[j];
+        v[j * n + i] = f;
+        g = e[j] + v[j * n + j] * f;
+        for (std::size_t k = j + 1; k <= l; ++k) {
+          g += v[k * n + j] * d[k];
+          e[k] += v[k * n + j] * f;
+        }
+        e[j] = g;
+      }
+      f = T(0);
+      for (std::size_t j = 0; j <= l; ++j) {
+        e[j] /= h;
+        f += e[j] * d[j];
+      }
+      const T hh = f / (h + h);
+      for (std::size_t j = 0; j <= l; ++j) e[j] -= hh * d[j];
+      for (std::size_t j = 0; j <= l; ++j) {
+        f = d[j];
+        g = e[j];
+        for (std::size_t k = j; k <= l; ++k)
+          v[k * n + j] -= (f * e[k] + g * d[k]);
+        d[j] = v[l * n + j];
+        v[i * n + j] = T(0);
+      }
+    }
+  } else {
+    e[i] = d[l];
+    d[l] = v[l * n + l];
+    v[i * n + l] = T(0);
+    v[l * n + i] = T(0);
+  }
+  d[i] = h;
+}
+
+/// tred2 epilogue: accumulate the orthogonal transform into v and finalize
+/// d (diagonal of T) and e (subdiagonal, e[0] = 0).
+template <typename T>
+void tred2_finish(std::size_t n, T* v, T* d, T* e) {
   for (std::size_t i = 0; i < n - 1; ++i) {
     v[(n - 1) * n + i] = v[i * n + i];
     v[i * n + i] = T(1);
@@ -125,12 +149,27 @@ void tred2(std::size_t n, T* v, T* d, T* e) {
   e[0] = T(0);
 }
 
+/// Householder reduction of a real symmetric matrix to tridiagonal form,
+/// accumulating the orthogonal transform.  On input v holds A (row-major,
+/// n x n, symmetric); on output v holds the accumulated orthogonal matrix Q
+/// with A = Q T Q^T, d the diagonal of T and e the subdiagonal (e[0] = 0).
+/// This is the EISPACK tred2 algorithm, split into init/step/finish so the
+/// batched solver can interleave the same steps across matrices.
+template <typename T>
+void tred2(std::size_t n, T* v, T* d, T* e) {
+  tred2_init(n, v, d);
+  for (std::size_t i = n - 1; i > 0; --i) tred2_step(n, i, v, d, e);
+  tred2_finish(n, v, d, e);
+}
+
 /// Implicit-shift QL iteration on the tridiagonal (d, e), rotating the
 /// accumulated transform in v so its columns become the eigenvectors of the
 /// original matrix.  EISPACK tql2.  Returns false if an eigenvalue fails to
-/// converge in 50 iterations (effectively never for SPD LETKF matrices).
+/// converge within `max_iters` sweeps (effectively never for SPD LETKF
+/// matrices at the default; lowering the cap is the deterministic
+/// fault-injection knob for the non-convergence path).
 template <typename T>
-bool tql2(std::size_t n, T* v, T* d, T* e) {
+bool tql2(std::size_t n, T* v, T* d, T* e, int max_iters = 50) {
   for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
   e[n - 1] = T(0);
 
@@ -144,7 +183,7 @@ bool tql2(std::size_t n, T* v, T* d, T* e) {
     if (m > l) {
       int iter = 0;
       do {
-        if (++iter > 50) return false;
+        if (++iter > max_iters) return false;
         // Form the Wilkinson shift.
         T g = d[l];
         T p = (d[l + 1] - g) / (T(2) * e[l]);
@@ -232,27 +271,96 @@ bool sym_eigen(std::size_t n, T* a, T* w) {
   return detail::tql2(n, a, w, e.data());
 }
 
-/// KeDV-style batched solver: preallocated workspace, reused across a batch
-/// of same-size problems.  The numerics are the same Householder + QL pair,
-/// but the workspace reuse removes the per-call allocation and keeps the
-/// scratch resident in cache across the batch — the property KeDV exploits
-/// on the A64FX.
+/// Default number of matrices whose Householder steps `solve_batch`
+/// interleaves: at the paper-relevant small k (float, k <= 128) a tile of 8
+/// matrices plus scratch fits mid-level cache, so the reduction sweeps the
+/// tile instead of re-streaming one matrix per call.
+inline constexpr std::size_t kEigenBatchTile = 8;
+
+/// KeDV-style batched solver: preallocated workspace reused across a batch
+/// of same-size problems, with the Householder reduction step-interleaved
+/// across a tile of matrices — the cache-blocking property KeDV exploits on
+/// the A64FX.  The numerics per matrix are exactly the serial
+/// tred2/tql2 pair (same function instantiations, same order), so
+/// `solve_batch` output is bitwise-identical to calling `solve` per matrix.
 template <typename T>
 class BatchedSymEigen {
  public:
-  explicit BatchedSymEigen(std::size_t n) : n_(n), e_(n) {}
+  explicit BatchedSymEigen(std::size_t n, std::size_t tile = kEigenBatchTile)
+      : n_(n), tile_(tile == 0 ? 1 : tile), e_(n * (tile == 0 ? 1 : tile)) {}
 
   std::size_t size() const { return n_; }
+  std::size_t tile() const { return tile_; }
 
-  /// Solve one problem from the batch (a overwritten with eigenvectors).
+  /// Cap on implicit-QL sweeps per eigenvalue (default 50, as tql2).
+  /// Lowering it far below ~30 is a deterministic fault-injection knob:
+  /// real SPD LETKF matrices then report non-convergence, exercising the
+  /// failure accounting downstream.
+  void set_max_ql_iterations(int iters) { max_ql_iters_ = iters; }
+  int max_ql_iterations() const { return max_ql_iters_; }
+
+  /// Serial reference path: solve one problem (a overwritten with
+  /// eigenvectors, w gets ascending eigenvalues).
   bool solve(T* a, T* w) {
-    detail::tred2(n_, a, w, e_.data());
-    return detail::tql2(n_, a, w, e_.data());
+    std::uint8_t ok = 1;
+    solve_batch(1, a, w, &ok);
+    return ok != 0;
+  }
+
+  /// Solve `batch` independent n x n problems stored contiguously
+  /// (a: batch * n * n scalars, w: batch * n).  Householder steps run
+  /// interleaved across tiles of `tile()` matrices; the QL iteration stays
+  /// per-matrix (its sweep count is data-dependent).  Returns the number of
+  /// problems that failed to converge; when `ok` is non-null, ok[b] is 1/0
+  /// per problem.  Failed problems leave a/w unspecified — callers must
+  /// check.
+  std::size_t solve_batch(std::size_t batch, T* a, T* w,
+                          std::uint8_t* ok = nullptr) {
+    std::size_t fails = 0;
+    if (n_ == 0) {
+      for (std::size_t b = 0; ok && b < batch; ++b) ok[b] = 1;
+      return 0;
+    }
+    const std::size_t nn = n_ * n_;
+    for (std::size_t base = 0; base < batch; base += tile_) {
+      const std::size_t nb = std::min(tile_, batch - base);
+      if (n_ == 1) {
+        // Trivial size, handled up front (the same guard sym_eigen has):
+        // no QL sweep ever touches e[l + 1] for n = 1.
+        for (std::size_t b = 0; b < nb; ++b) {
+          w[base + b] = a[base + b];
+          a[base + b] = T(1);
+          if (ok) ok[base + b] = 1;
+        }
+        continue;
+      }
+      for (std::size_t b = 0; b < nb; ++b)
+        detail::tred2_init(n_, a + (base + b) * nn, w + (base + b) * n_);
+      // The cache-blocked panel updates: step i runs for every matrix of
+      // the tile before i - 1 starts, keeping the tile resident instead of
+      // streaming each matrix end to end.
+      for (std::size_t i = n_ - 1; i > 0; --i)
+        for (std::size_t b = 0; b < nb; ++b)
+          detail::tred2_step(n_, i, a + (base + b) * nn, w + (base + b) * n_,
+                             e_.data() + b * n_);
+      for (std::size_t b = 0; b < nb; ++b)
+        detail::tred2_finish(n_, a + (base + b) * nn, w + (base + b) * n_,
+                             e_.data() + b * n_);
+      for (std::size_t b = 0; b < nb; ++b) {
+        const bool conv =
+            detail::tql2(n_, a + (base + b) * nn, w + (base + b) * n_,
+                         e_.data() + b * n_, max_ql_iters_);
+        if (!conv) ++fails;
+        if (ok) ok[base + b] = conv ? std::uint8_t(1) : std::uint8_t(0);
+      }
+    }
+    return fails;
   }
 
  private:
-  std::size_t n_;
-  std::vector<T> e_;
+  std::size_t n_, tile_;
+  std::vector<T> e_;  ///< tile() subdiagonal scratch rows, reused per tile
+  int max_ql_iters_ = 50;
 };
 
 }  // namespace bda::letkf

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "letkf/column_solver.hpp"
 #include "letkf/letkf_core.hpp"
 
 namespace bda::letkf {
@@ -90,15 +91,29 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
 
   std::size_t grid_updated = 0;
   double local_obs_sum = 0.0;
+  std::size_t eig_fail_levels = 0;
+  std::size_t cache_hits = 0, weight_solves = 0, eig_batches = 0;
 
-#pragma omp parallel reduction(+ : grid_updated, local_obs_sum)
+#pragma omp parallel reduction(+ : grid_updated, local_obs_sum,             \
+                                   eig_fail_levels, cache_hits,             \
+                                   weight_solves, eig_batches)
   {
-    LetkfWorkspace<real> ws(k);
-    std::vector<real> W(k * k);
+    // One column solver per thread: the weight cache + batched eigensolver
+    // workspace are reused across every column the thread analyzes.
+    ColumnWeightSolver<real> solver(k, static_cast<std::size_t>(nz),
+                                    cfg_.rtpp_alpha, cfg_.infl_rho,
+                                    cfg_.eig_max_iters);
     std::vector<std::size_t> cand;
     std::vector<real> y_loc, d_loc, rinv_loc;
+    std::vector<std::size_t> ids;
     std::vector<std::pair<real, std::size_t>> ranked;
-    std::vector<real> xb(k), xa(k);
+    std::vector<real> xb(k);
+    struct LevelPlan {
+      idx kk;
+      std::size_t slot;
+      std::size_t p;
+    };
+    std::vector<LevelPlan> plan;
 
 #pragma omp for collapse(2) schedule(dynamic, 4)
     for (idx i = 0; i < nx; ++i)
@@ -107,6 +122,10 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
         index.query(grid_.xc(i), grid_.yc(j), cutoff_h, cand);
         if (cand.empty()) continue;
 
+        // Pass 1 over the column: rank each level's local obs, dedupe
+        // identical signatures, stage the distinct weight solves.
+        solver.begin_column();
+        plan.clear();
         for (idx kk = 0; kk < nz; ++kk) {
           const real zc = grid_.zc(kk);
           if (zc < cfg_.z_min || zc > cfg_.z_max) continue;
@@ -135,10 +154,14 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
                              ranked.end());
             ranked.resize(cap);
           }
+          // Canonical (distance, index) order: nth_element leaves an
+          // unspecified permutation, which would make identical selections
+          // look different to the weight cache and tie the summation order
+          // to the library's partitioning.
+          std::sort(ranked.begin(), ranked.end());
 
           const std::size_t p = ranked.size();
-          y_loc.resize(p * k);
-          d_loc.resize(p);
+          ids.resize(p);
           rinv_loc.resize(p);
           for (std::size_t n = 0; n < p; ++n) {
             const std::size_t c = ranked[n].second;
@@ -148,18 +171,44 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
             const real rh = std::sqrt(dx * dx + dy * dy) / cfg_.hloc;
             const real rv = std::abs(o.z - zc) / cfg_.vloc;
             const real w = gaspari_cohn(rh) * gaspari_cohn(rv);
+            ids[n] = c;
             rinv_loc[n] = w / (o.error * o.error);
-            d_loc[n] = o.value - ymean[c];
-            std::copy_n(&yp[c * k], k, &y_loc[n * k]);
           }
 
-          if (!letkf_weights<real>(k, p, y_loc.data(), d_loc.data(),
-                                   rinv_loc.data(), cfg_.rtpp_alpha,
-                                   cfg_.infl_rho, ws, W.data()))
-            continue;
+          std::size_t slot = solver.lookup(p, ids.data(), rinv_loc.data());
+          if (slot == ColumnWeightSolver<real>::npos) {
+            // Cache miss: gather the observation-space perturbations and
+            // innovations only now (hits skip this entirely).
+            y_loc.resize(p * k);
+            d_loc.resize(p);
+            for (std::size_t n = 0; n < p; ++n) {
+              const std::size_t c = ranked[n].second;
+              d_loc[n] = obs[c].value - ymean[c];
+              std::copy_n(&yp[c * k], k, &y_loc[n * k]);
+            }
+            slot = solver.insert(p, ids.data(), rinv_loc.data(),
+                                 y_loc.data(), d_loc.data());
+          }
+          plan.push_back({kk, slot, p});
+        }
+        if (plan.empty()) continue;
 
+        // One batched eigensolve for every distinct signature of the
+        // column (KeDV-style), then weight assembly per unique slot.
+        solver.solve();
+
+        // Pass 2: apply each level's (possibly shared) weight matrix.
+        for (const auto& lv : plan) {
+          if (!solver.converged(lv.slot)) {
+            // Non-convergence leaves the gridpoint un-analyzed; count it
+            // (it used to be silently swallowed).
+            ++eig_fail_levels;
+            continue;
+          }
+          const real* W = solver.weights(lv.slot);
+          const idx kk = lv.kk;
           ++grid_updated;
-          local_obs_sum += double(p);
+          local_obs_sum += double(lv.p);
 
           // Apply W to every state variable at (i, j, kk).
           auto update = [&](auto&& get, auto&& set) {
@@ -199,11 +248,26 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
           }
         }
       }
+
+    // Per-thread kernel accounting, folded by the OpenMP reduction.
+    cache_hits += solver.cache_hits();
+    weight_solves += solver.cache_misses();
+    eig_batches += solver.batches();
   }
 
   stats.n_grid_updated = grid_updated;
+  stats.n_eig_fail = eig_fail_levels;
+  stats.n_weight_reuse = cache_hits;
+  stats.n_weight_solved = weight_solves;
+  stats.n_eig_batches = eig_batches;
   if (grid_updated)
     stats.mean_local_obs = local_obs_sum / double(grid_updated);
+  if (metrics_) {
+    metrics_->count("letkf.eig_batches", eig_batches);
+    metrics_->count("letkf.weight_cache_hit", cache_hits);
+    metrics_->count("letkf.weight_cache_miss", weight_solves);
+    metrics_->count("letkf.eig_fail", eig_fail_levels);
+  }
 
   // Refresh halos after the point-wise updates.
   for (int m = 0; m < ens.size(); ++m) ens.member(m).fill_halos_periodic();

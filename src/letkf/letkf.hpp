@@ -17,6 +17,7 @@
 #include "letkf/obsop.hpp"
 #include "scale/ensemble.hpp"
 #include "scale/grid.hpp"
+#include "util/metrics.hpp"
 
 namespace bda::letkf {
 
@@ -36,6 +37,11 @@ struct LetkfConfig {
   real z_min = 500.0f;          ///< analysis height range (Table 2)
   real z_max = 11000.0f;
   bool update_momentum = true;  ///< assimilate into winds as well
+  /// Cap on implicit-QL sweeps per eigenvalue in the weight solve.  The
+  /// default (50) never fails on the SPD LETKF matrices; lowering it is a
+  /// deterministic fault-injection knob for the non-convergence accounting
+  /// (AnalysisStats::n_eig_fail), mirroring jitdt's stall_after_bytes.
+  int eig_max_iters = 50;
 };
 
 /// Bookkeeping of one analysis (used by benches and the workflow monitor).
@@ -43,6 +49,13 @@ struct AnalysisStats {
   std::size_t n_obs_in = 0;        ///< observations offered
   std::size_t n_obs_qc = 0;        ///< rejected by gross-error check
   std::size_t n_grid_updated = 0;  ///< grid points with >= 1 local obs
+  /// Gridpoint-levels left un-analyzed because the weight eigensolve did
+  /// not converge.  Always zero in practice (SPD matrices), but a non-zero
+  /// value must be visible, not silently swallowed.
+  std::size_t n_eig_fail = 0;
+  std::size_t n_weight_reuse = 0;   ///< levels served by the column weight cache
+  std::size_t n_weight_solved = 0;  ///< distinct weight solves (cache misses)
+  std::size_t n_eig_batches = 0;    ///< batched eigensolver invocations
   double mean_local_obs = 0.0;     ///< average local obs per updated point
   double mean_abs_innovation = 0.0;
   /// Observation-space moments of the assimilated (post-QC) set, for
@@ -64,9 +77,16 @@ class Letkf {
   /// hook AdaptiveInflation drives between cycles).
   void set_inflation(real rho) { cfg_.infl_rho = rho; }
 
+  /// Attach a metrics sink (may be null).  analyze() then records the
+  /// kernel counters "letkf.eig_batches", "letkf.weight_cache_hit",
+  /// "letkf.weight_cache_miss" and "letkf.eig_fail" per call
+  /// (docs/LETKF_KERNEL.md).
+  void set_metrics(util::Metrics* metrics) { metrics_ = metrics; }
+
  private:
   const scale::Grid& grid_;
   LetkfConfig cfg_;
+  util::Metrics* metrics_ = nullptr;
 };
 
 }  // namespace bda::letkf

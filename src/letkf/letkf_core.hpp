@@ -17,8 +17,14 @@
 //                                                    Table 2: alpha = 0.95)
 //   W[:,m] = wbar + Wp[:,m]
 // so the analysis member m is  x_m^a = xbar^b + X'b W[:,m].
+//
+// The solve is staged (Gram build -> eigensolve -> weight assembly) so the
+// column-batched driver (column_solver.hpp) can run the eigensolves of many
+// levels through one BatchedSymEigen::solve_batch call; `letkf_weights`
+// composes the same stages serially and is the bitwise reference path.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -32,33 +38,74 @@ struct LetkfWorkspace {
   explicit LetkfWorkspace(std::size_t k)
       : a(k * k), q(k * k), pa(k * k), cd(k), wbar(k), tmp(k), eig(k) {}
   std::vector<T> a, q, pa, cd, wbar, tmp;
+  std::vector<T> yr;  ///< p x k scaled-perturbation scratch (grown on use)
   BatchedSymEigen<T> eig;
 };
 
-/// Compute the k x k LETKF weight matrix W (column m = weights of member m,
-/// mean update included).  Y is row-major p x k; rinv holds the
-/// localization-weighted inverse observation variances.  rho is the
-/// multiplicative covariance inflation (1 = none; the paper relies on RTPP
-/// instead).  Returns false only on eigensolver non-convergence.
+/// Build the ensemble-space precision matrix
+///   A = (k-1)/rho I + Y^T diag(rinv) Y
+/// (row-major k x k, into A) with the scaled perturbations
+/// Yr = diag(rinv) Y formed once in `yr` and the Gram product tiled over
+/// output columns, so each p x tile slab of Y stays cache-resident across
+/// the full i sweep instead of being re-streamed per entry.  Determinism:
+/// Yr[n,i] = Y[n,i] * rinv[n] rounds exactly like the naive triple product
+/// (left-associated), and each entry keeps a single accumulator over
+/// ascending n, so the blocked build equals the naive loop bitwise.
+/// `yr` is left holding diag(rinv) Y for reuse by
+/// letkf_innovation_projection.
 template <typename T>
-bool letkf_weights(std::size_t k, std::size_t p, const T* Y, const T* d,
-                   const T* rinv, T rtpp_alpha, T rho,
-                   LetkfWorkspace<T>& ws, T* W) {
-  // A = (k-1)/rho I + Y^T diag(rinv) Y  (build upper triangle, mirror).
-  for (std::size_t i = 0; i < k; ++i)
-    for (std::size_t j = i; j < k; ++j) {
-      T s = (i == j) ? T(k - 1) / rho : T(0);
-      for (std::size_t n = 0; n < p; ++n)
-        s += Y[n * k + i] * rinv[n] * Y[n * k + j];
-      ws.a[i * k + j] = s;
-      ws.a[j * k + i] = s;
+void letkf_build_gram(std::size_t k, std::size_t p, const T* Y, const T* rinv,
+                      T rho, std::vector<T>& yr, T* A) {
+  yr.resize(p * k);
+  for (std::size_t n = 0; n < p; ++n)
+    for (std::size_t i = 0; i < k; ++i) yr[n * k + i] = Y[n * k + i] * rinv[n];
+  constexpr std::size_t kColTile = 48;
+  for (std::size_t jb = 0; jb < k; jb += kColTile) {
+    const std::size_t je = std::min(k, jb + kColTile);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = std::max(i, jb); j < je; ++j) {
+        T s = (i == j) ? T(k - 1) / rho : T(0);
+        for (std::size_t n = 0; n < p; ++n) s += yr[n * k + i] * Y[n * k + j];
+        A[i * k + j] = s;
+        A[j * k + i] = s;
+      }
     }
+  }
+}
 
-  // Eigendecomposition (a is overwritten with eigenvectors; wbar reused as
-  // the eigenvalue array until it is recomputed below).
-  std::vector<T>& evec = ws.a;
-  std::vector<T>& eval = ws.tmp;
-  if (!ws.eig.solve(evec.data(), eval.data())) return false;
+/// cd = Y^T diag(rinv) d, using the prebuilt yr = diag(rinv) Y from
+/// letkf_build_gram (bitwise-equal to forming Y^T rinv d directly, since
+/// the products associate identically).
+template <typename T>
+void letkf_innovation_projection(std::size_t k, std::size_t p,
+                                 const std::vector<T>& yr, const T* d, T* cd) {
+  for (std::size_t i = 0; i < k; ++i) {
+    T s = T(0);
+    for (std::size_t n = 0; n < p; ++n) s += yr[n * k + i] * d[n];
+    cd[i] = s;
+  }
+}
+
+/// Assemble the weight matrix W from a solved eigendecomposition of A
+/// (evec: k x k eigenvectors, eval: ascending eigenvalues — floored in
+/// place against round-off) and the projected innovations cd.
+template <typename T>
+void letkf_weights_from_eigen(std::size_t k, const T* evec, T* eval,
+                              const T* cd, T rtpp_alpha, LetkfWorkspace<T>& ws,
+                              T* W) {
+  // The eigenpair buffers must never alias the wbar/pa scratch written
+  // below.  By the solver convention the eigenvectors live in ws.a and the
+  // eigenvalues in ws.tmp — NOT in wbar (a stale comment once claimed wbar
+  // doubled as the eigenvalue array; it never may, wbar is recomputed here
+  // and pa is live scratch).
+  assert(static_cast<const void*>(evec) !=
+         static_cast<const void*>(ws.wbar.data()));
+  assert(static_cast<const void*>(evec) !=
+         static_cast<const void*>(ws.pa.data()));
+  assert(static_cast<const void*>(eval) !=
+         static_cast<const void*>(ws.wbar.data()));
+  assert(static_cast<const void*>(eval) !=
+         static_cast<const void*>(ws.pa.data()));
 
   // Guard: A is SPD by construction; clamp tiny eigenvalues against
   // single-precision round-off.
@@ -66,17 +113,10 @@ bool letkf_weights(std::size_t k, std::size_t p, const T* Y, const T* d,
   for (std::size_t i = 0; i < k; ++i)
     if (eval[i] < floor_ev) eval[i] = floor_ev;
 
-  // cd = Y^T diag(rinv) d.
-  for (std::size_t i = 0; i < k; ++i) {
-    T s = T(0);
-    for (std::size_t n = 0; n < p; ++n) s += Y[n * k + i] * rinv[n] * d[n];
-    ws.cd[i] = s;
-  }
-
   // wbar = Q diag(1/lambda) Q^T cd.
   for (std::size_t j = 0; j < k; ++j) {
     T s = T(0);
-    for (std::size_t i = 0; i < k; ++i) s += evec[i * k + j] * ws.cd[i];
+    for (std::size_t i = 0; i < k; ++i) s += evec[i * k + j] * cd[i];
     ws.pa[j] = s / eval[j];  // pa[0..k) temporarily holds Q^T cd / lambda
   }
   for (std::size_t i = 0; i < k; ++i) {
@@ -102,6 +142,29 @@ bool letkf_weights(std::size_t k, std::size_t p, const T* Y, const T* d,
       if (i == m) wp += rtpp_alpha;
       W[i * k + m] = wp + ws.wbar[i];
     }
+}
+
+/// Compute the k x k LETKF weight matrix W (column m = weights of member m,
+/// mean update included).  Y is row-major p x k; rinv holds the
+/// localization-weighted inverse observation variances.  rho is the
+/// multiplicative covariance inflation (1 = none; the paper relies on RTPP
+/// instead).  Returns false only on eigensolver non-convergence — callers
+/// must count that, not swallow it (AnalysisStats::n_eig_fail).
+template <typename T>
+bool letkf_weights(std::size_t k, std::size_t p, const T* Y, const T* d,
+                   const T* rinv, T rtpp_alpha, T rho,
+                   LetkfWorkspace<T>& ws, T* W) {
+  letkf_build_gram(k, p, Y, rinv, rho, ws.yr, ws.a.data());
+
+  // Eigendecomposition (a is overwritten with eigenvectors; ws.tmp receives
+  // the eigenvalues — wbar/pa stay free for letkf_weights_from_eigen).
+  std::vector<T>& evec = ws.a;
+  std::vector<T>& eval = ws.tmp;
+  if (!ws.eig.solve(evec.data(), eval.data())) return false;
+
+  letkf_innovation_projection(k, p, ws.yr, d, ws.cd.data());
+  letkf_weights_from_eigen(k, evec.data(), eval.data(), ws.cd.data(),
+                           rtpp_alpha, ws, W);
   return true;
 }
 

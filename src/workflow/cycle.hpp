@@ -141,8 +141,14 @@ class BdaSystem {
   /// Attach a metrics sink (may be null): per-stage timers
   /// ("cycle.nature", "cycle.observe", "cycle.jitdt", "cycle.regrid",
   /// "cycle.ensemble", "cycle.letkf", "cycle.total") and counters
-  /// ("cycle.cycles", "cycle.obs") are recorded through it.
-  void set_metrics(util::Metrics* metrics) { metrics_ = metrics; }
+  /// ("cycle.cycles", "cycle.obs") are recorded through it, and the sink
+  /// is forwarded to the LETKF for its weight-kernel counters
+  /// ("letkf.eig_batches", "letkf.weight_cache_hit"/"_miss",
+  /// "letkf.eig_fail" — docs/LETKF_KERNEL.md).
+  void set_metrics(util::Metrics* metrics) {
+    metrics_ = metrics;
+    letkf_.set_metrics(metrics);
+  }
 
   /// Observe the nature run now (without assimilating) — for verification.
   pawr::VolumeScan observe_nature();

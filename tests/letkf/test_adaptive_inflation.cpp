@@ -57,5 +57,31 @@ TEST(AdaptiveInflation, ClampsToConfiguredRange) {
   EXPECT_FLOAT_EQ(infl.rho(), 0.9f);
 }
 
+TEST(AdaptiveInflation, RawEstimateCanBeNegativeByContract) {
+  // Desroziers ratio with innovations far below the error budget:
+  // (0.1 - 1.0) / 10.0 = -0.09.  estimate() is documented to return the
+  // raw, unclamped ratio — callers must not apply it directly.
+  EXPECT_DOUBLE_EQ(AdaptiveInflation::estimate(moments(0.1, 1.0, 10.0)),
+                   -0.09);
+}
+
+TEST(AdaptiveInflation, FlooredEstimateNeverBelowRhoMin) {
+  AdaptiveInflation infl(1.0f, 0.3f, 0.9f, 3.0f);
+  EXPECT_DOUBLE_EQ(infl.estimate_floored(moments(0.1, 1.0, 10.0)),
+                   double(0.9f));
+  // A sane estimate passes through unfloored.
+  EXPECT_DOUBLE_EQ(infl.estimate_floored(moments(5.0, 1.0, 2.0)), 2.0);
+}
+
+TEST(AdaptiveInflation, NegativeEstimateIsFlooredBeforeBlending) {
+  // Regression: the negative instantaneous ratio used to enter the temporal
+  // blend raw (0.7*1 + 0.3*(-0.09) = 0.673) and only the final clamp saved
+  // the stored rho.  With clamp-before-blend the garbage cycle contributes
+  // rho_min instead: 0.7*1 + 0.3*0.9 = 0.97.
+  AdaptiveInflation infl(1.0f, 0.3f, 0.9f, 3.0f);
+  infl.update(moments(0.1, 1.0, 10.0));
+  EXPECT_FLOAT_EQ(infl.rho(), 0.97f);
+}
+
 }  // namespace
 }  // namespace bda::letkf

@@ -168,6 +168,128 @@ TEST(BatchedSymEigen, WorkspaceReuseDoesNotLeakState) {
     EXPECT_FLOAT_EQ(w_after[i], w_fresh[i]);
 }
 
+TEST(Hypot2, ExtremeMagnitudesSinglePrecision) {
+  // sqrt(a*a + b*b) overflows float for |a| above ~1.8e19 and flushes to
+  // zero for subnormal-squared inputs; the scaled formulation must not.
+  const float big = detail::hypot2(3e19f, 4e19f);
+  EXPECT_TRUE(std::isfinite(big));
+  EXPECT_NEAR(big, 5e19f, 5e19f * 1e-6f);
+
+  const float tiny = detail::hypot2(3e-30f, 4e-30f);
+  EXPECT_GT(tiny, 0.0f);
+  EXPECT_NEAR(tiny, 5e-30f, 5e-30f * 1e-6f);
+
+  // A subnormal paired with zero survives as itself.
+  const float sub = 1e-41f;
+  EXPECT_EQ(detail::hypot2(sub, 0.0f), sub);
+  EXPECT_EQ(detail::hypot2(0.0f, 0.0f), 0.0f);
+}
+
+TEST(Hypot2, SignInsensitiveAndOrderInsensitive) {
+  EXPECT_EQ(detail::hypot2(-3.0f, 4.0f), detail::hypot2(3.0f, 4.0f));
+  EXPECT_EQ(detail::hypot2(4.0f, 3.0f), detail::hypot2(3.0f, 4.0f));
+  EXPECT_NEAR(detail::hypot2(3.0, 4.0), 5.0, 1e-12);
+}
+
+TEST(Hypot2, MatchesNaiveInSafeRange) {
+  Rng rng(99);
+  for (int t = 0; t < 100; ++t) {
+    const float a = float(rng.normal());
+    const float b = float(rng.normal());
+    const float naive = std::sqrt(a * a + b * b);
+    EXPECT_NEAR(detail::hypot2(a, b), naive, 4e-7f * (std::abs(naive) + 1.0f));
+  }
+}
+
+// Batch sizes the ISSUE singles out: 1 (degenerate), 7 (partial tile) and
+// 60 (a full analysis column, multiple tiles).
+class BatchedSolveSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchedSolveSizes, SolveBatchBitwiseMatchesSerialSolve) {
+  const std::size_t batch = GetParam();
+  const std::size_t n = 16;
+  Rng rng(1234 + batch);
+  // LETKF-shaped SPD batch: (n-1)I + Y^T Y per problem.
+  std::vector<float> a(batch * n * n);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t p = n + 3;
+    std::vector<float> y(p * n);
+    for (auto& x : y) x = float(rng.normal());
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        float s = (i == j) ? float(n - 1) : 0.0f;
+        for (std::size_t m = 0; m < p; ++m) s += y[m * n + i] * y[m * n + j];
+        a[b * n * n + i * n + j] = s;
+      }
+  }
+  auto a_serial = a;
+  std::vector<float> w_serial(batch * n), w_batch(batch * n);
+  BatchedSymEigen<float> solver(n);
+  for (std::size_t b = 0; b < batch; ++b)
+    ASSERT_TRUE(solver.solve(a_serial.data() + b * n * n,
+                             w_serial.data() + b * n));
+
+  std::vector<std::uint8_t> ok(batch, 0);
+  BatchedSymEigen<float> batched(n);
+  EXPECT_EQ(batched.solve_batch(batch, a.data(), w_batch.data(), ok.data()),
+            0u);
+  for (std::size_t b = 0; b < batch; ++b) EXPECT_EQ(ok[b], 1);
+  // Bitwise: the batched path runs the same tred2 steps / tql2 sweeps per
+  // matrix, only interleaved across the tile.
+  for (std::size_t x = 0; x < batch * n; ++x)
+    EXPECT_EQ(w_serial[x], w_batch[x]) << "eigenvalue " << x;
+  for (std::size_t x = 0; x < batch * n * n; ++x)
+    EXPECT_EQ(a_serial[x], a[x]) << "eigenvector elem " << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchedSolveSizes,
+                         ::testing::Values(1, 7, 60));
+
+TEST(BatchedSymEigen, HandlesUnitSizeProblems) {
+  // n = 1 needs the same up-front guard sym_eigen has: no QL sweep, the
+  // eigenvector is trivially [1].
+  BatchedSymEigen<double> solver(1);
+  std::vector<double> a = {7.5};
+  std::vector<double> w(1);
+  EXPECT_TRUE(solver.solve(a.data(), w.data()));
+  EXPECT_DOUBLE_EQ(w[0], 7.5);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+
+  std::vector<double> ab = {2.0, -3.5, 0.25};
+  std::vector<double> wb(3);
+  std::vector<std::uint8_t> ok(3, 0);
+  EXPECT_EQ(solver.solve_batch(3, ab.data(), wb.data(), ok.data()), 0u);
+  EXPECT_DOUBLE_EQ(wb[0], 2.0);
+  EXPECT_DOUBLE_EQ(wb[1], -3.5);
+  EXPECT_DOUBLE_EQ(wb[2], 0.25);
+  for (double v : ab) EXPECT_DOUBLE_EQ(v, 1.0);
+  for (auto o : ok) EXPECT_EQ(o, 1);
+}
+
+TEST(BatchedSymEigen, ReportsPerProblemNonConvergence) {
+  // The QL iteration cap is the deterministic fault knob: with 0 sweeps
+  // allowed, any matrix that needs off-diagonal work fails, while a
+  // diagonal matrix (subdiagonal exactly zero) still converges.  The
+  // failure must be reported per problem, not swallowed.
+  const std::size_t n = 8;
+  Rng rng(4321);
+  std::vector<double> a(2 * n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] = double(i + 1);  // diag
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double x = rng.normal();
+      a[n * n + i * n + j] = x;
+      a[n * n + j * n + i] = x;
+    }
+  std::vector<double> w(2 * n);
+  std::vector<std::uint8_t> ok(2, 9);
+  BatchedSymEigen<double> solver(n);
+  solver.set_max_ql_iterations(0);
+  EXPECT_EQ(solver.solve_batch(2, a.data(), w.data(), ok.data()), 1u);
+  EXPECT_EQ(ok[0], 1);  // diagonal: converged without a sweep
+  EXPECT_EQ(ok[1], 0);  // dense random: needs sweeps, must fail
+}
+
 TEST(SymEigen, RepeatedEigenvaluesHandled) {
   // Identity: all eigenvalues 1, any orthonormal V works.
   const std::size_t n = 6;

@@ -196,6 +196,57 @@ TEST(Letkf, MomentumUpdateCanBeDisabled) {
             f.ens.member(1).dens(8, 8, 1) * real(5e-4 * 2));
 }
 
+TEST(Letkf, EigensolverFailureIsCountedAndSkipsUpdate) {
+  // Regression: non-convergence in letkf_weights used to be silently
+  // swallowed (the level was skipped with no trace in AnalysisStats).
+  // eig_max_iters = 0 is the deterministic fault knob: any gridpoint whose
+  // ensemble-space matrix needs QL sweeps fails to converge.
+  Fixture f;
+  LetkfConfig cfg = fast_letkf();
+  cfg.eig_max_iters = 0;
+  ObsVector obs;
+  for (real x : {4200.0f, 4700.0f, 5200.0f})
+    obs.push_back({ObsType::kDopplerVelocity, x, 4000.0f, 1500.0f, 6.0f,
+                   3.0f});
+  Letkf letkf(f.grid, cfg);
+  util::Metrics metrics;
+  letkf.set_metrics(&metrics);
+  const real before = f.ens.member(0).momx(8, 8, 1);
+  const auto stats = letkf.analyze(f.ens, obs, f.op);
+  EXPECT_GT(stats.n_eig_fail, 0u);
+  EXPECT_EQ(metrics.counter("letkf.eig_fail"), stats.n_eig_fail);
+  // Failed levels leave the background untouched rather than applying a
+  // garbage weight matrix.
+  if (stats.n_grid_updated == 0) {
+    EXPECT_EQ(f.ens.member(0).momx(8, 8, 1), before);
+  }
+}
+
+TEST(Letkf, BatchAndReuseStatsArePopulated) {
+  Fixture f;
+  ObsVector obs;
+  for (real x : {4200.0f, 4700.0f, 5200.0f})
+    obs.push_back({ObsType::kDopplerVelocity, x, 4000.0f, 1500.0f, 6.0f,
+                   3.0f});
+  Letkf letkf(f.grid, fast_letkf());
+  util::Metrics metrics;
+  letkf.set_metrics(&metrics);
+  const auto stats = letkf.analyze(f.ens, obs, f.op);
+  ASSERT_GT(stats.n_grid_updated, 0u);
+  EXPECT_EQ(stats.n_eig_fail, 0u);
+  // Every analyzed level either solved a fresh weight matrix or reused a
+  // cached one, and every column with work ran at least one batch.
+  EXPECT_GT(stats.n_weight_solved, 0u);
+  EXPECT_GT(stats.n_eig_batches, 0u);
+  EXPECT_GE(stats.n_grid_updated,
+            stats.n_eig_batches);  // >= one level per batched column
+  EXPECT_EQ(metrics.counter("letkf.weight_cache_miss"),
+            stats.n_weight_solved);
+  EXPECT_EQ(metrics.counter("letkf.weight_cache_hit"),
+            stats.n_weight_reuse);
+  EXPECT_EQ(metrics.counter("letkf.eig_batches"), stats.n_eig_batches);
+}
+
 TEST(Letkf, StatsReportInnovationMagnitude) {
   Fixture f;
   ObsVector obs;
