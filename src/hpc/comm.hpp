@@ -63,7 +63,7 @@ class CommWorld {
   friend class Comm;
   struct Mailbox {
     std::mutex mu;
-    std::condition_variable cv;
+    std::condition_variable cv BDA_CV_OF(mu);  ///< queue-nonempty predicate
     // Keyed by (source, tag); FIFO per key.
     std::map<std::pair<int, int>, std::vector<Buffer>> queues
         BDA_GUARDED_BY(mu);
@@ -77,7 +77,7 @@ class CommWorld {
   // Barrier / reduction state: generation-counted so back-to-back
   // collectives cannot confuse late wakers (all guarded by coll_mu_).
   std::mutex coll_mu_;
-  std::condition_variable coll_cv_;
+  std::condition_variable coll_cv_ BDA_CV_OF(coll_mu_);
   int coll_count_ BDA_GUARDED_BY(coll_mu_) = 0;
   std::uint64_t coll_generation_ BDA_GUARDED_BY(coll_mu_) = 0;
   double reduce_acc_ BDA_GUARDED_BY(coll_mu_) = 0.0;

@@ -59,14 +59,19 @@ HostCalibration calibrate_host() {
     for (auto& v : Y) v = float(rng.normal());
     for (auto& v : d) v = float(rng.normal());
     letkf::LetkfWorkspace<float> ws(k0);
-    letkf::letkf_weights<float>(k0, p0, Y.data(), d.data(), rinv.data(),
-                                0.95f, 1.0f, ws, W.data());  // warm-up
+    bool ok = letkf::letkf_weights<float>(k0, p0, Y.data(), d.data(),
+                                          rinv.data(), 0.95f, 1.0f, ws,
+                                          W.data());  // warm-up
     const int solves = 50;
     const double t0 = now_s();
     for (int s = 0; s < solves; ++s)
-      letkf::letkf_weights<float>(k0, p0, Y.data(), d.data(), rinv.data(),
-                                  0.95f, 1.0f, ws, W.data());
-    cal.letkf_points_per_s = solves / (now_s() - t0);
+      ok = letkf::letkf_weights<float>(k0, p0, Y.data(), d.data(),
+                                       rinv.data(), 0.95f, 1.0f, ws,
+                                       W.data()) &&
+           ok;
+    // A non-converging solve would time the failure path, not the kernel;
+    // report "no calibration" rather than a bogus rate.
+    cal.letkf_points_per_s = ok ? solves / (now_s() - t0) : 0.0;
   }
 
   // --- serialization throughput (the RAM-copy transport path).

@@ -69,7 +69,7 @@ class JitDtLink {
   /// chunk by chunk; elapsed time comes from the channel model.  On
   /// failure `out` holds only the acknowledged prefix (the resume point),
   /// never a full-size buffer with an uninitialized tail.
-  TransferResult transfer(const std::vector<std::uint8_t>& data,
+  [[nodiscard]] TransferResult transfer(const std::vector<std::uint8_t>& data,
                           std::vector<std::uint8_t>& out);
 
   /// Closed-form fault-free transfer time for planning (Fig 5 projection).

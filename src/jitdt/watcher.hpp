@@ -63,7 +63,7 @@ class DirectoryWatcher {
   const double interval_s_;
 
   mutable std::mutex mu_;
-  std::condition_variable state_cv_;             // signalled by stop()
+  std::condition_variable state_cv_ BDA_CV_OF(mu_);  // signalled by stop()
   std::set<std::string> seen_ BDA_GUARDED_BY(mu_);
   std::map<std::string, std::uintmax_t> pending_ BDA_GUARDED_BY(mu_);
   bool running_ BDA_GUARDED_BY(mu_) = false;     // poll loop should continue

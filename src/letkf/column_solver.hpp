@@ -140,7 +140,7 @@ class ColumnWeightSolver {
   }
 
   /// Did slot's eigensolve converge?  (Valid after solve().)
-  bool converged(std::size_t slot) const {
+  [[nodiscard]] bool converged(std::size_t slot) const {
     assert(solved_ && slot < n_unique_);
     return ok_[slot] != 0;
   }

@@ -255,7 +255,7 @@ bool tql2(std::size_t n, T* v, T* d, T* e, int max_iters = 50) {
 /// Allocates its own scratch each call, as a per-gridpoint LAPACK call
 /// would.  Returns false on (effectively impossible) non-convergence.
 template <typename T>
-bool sym_eigen(std::size_t n, T* a, T* w) {
+[[nodiscard]] bool sym_eigen(std::size_t n, T* a, T* w) {
   if (n == 0) return true;
   if (n == 1) {
     // Trivial case, handled up front: the QL sweep below is a no-op for
@@ -301,7 +301,7 @@ class BatchedSymEigen {
 
   /// Serial reference path: solve one problem (a overwritten with
   /// eigenvectors, w gets ascending eigenvalues).
-  bool solve(T* a, T* w) {
+  [[nodiscard]] bool solve(T* a, T* w) {
     std::uint8_t ok = 1;
     solve_batch(1, a, w, &ok);
     return ok != 0;

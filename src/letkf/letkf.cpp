@@ -89,12 +89,15 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
 
   const idx nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
 
+  // All reduction accumulators are integers on purpose: integer addition
+  // is exact in any order, so the dynamic schedule cannot perturb the
+  // stats (tools/bda_analyze nondet-fp-reduction would flag a double).
   std::size_t grid_updated = 0;
-  double local_obs_sum = 0.0;
+  std::size_t local_obs_count = 0;
   std::size_t eig_fail_levels = 0;
   std::size_t cache_hits = 0, weight_solves = 0, eig_batches = 0;
 
-#pragma omp parallel reduction(+ : grid_updated, local_obs_sum,             \
+#pragma omp parallel reduction(+ : grid_updated, local_obs_count,           \
                                    eig_fail_levels, cache_hits,             \
                                    weight_solves, eig_batches)
   {
@@ -208,7 +211,7 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
           const real* W = solver.weights(lv.slot);
           const idx kk = lv.kk;
           ++grid_updated;
-          local_obs_sum += double(lv.p);
+          local_obs_count += lv.p;
 
           // Apply W to every state variable at (i, j, kk).
           auto update = [&](auto&& get, auto&& set) {
@@ -261,7 +264,7 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
   stats.n_weight_solved = weight_solves;
   stats.n_eig_batches = eig_batches;
   if (grid_updated)
-    stats.mean_local_obs = local_obs_sum / double(grid_updated);
+    stats.mean_local_obs = double(local_obs_count) / double(grid_updated);
   if (metrics_) {
     metrics_->count("letkf.eig_batches", eig_batches);
     metrics_->count("letkf.weight_cache_hit", cache_hits);

@@ -151,7 +151,7 @@ void letkf_weights_from_eigen(std::size_t k, const T* evec, T* eval,
 /// instead).  Returns false only on eigensolver non-convergence — callers
 /// must count that, not swallow it (AnalysisStats::n_eig_fail).
 template <typename T>
-bool letkf_weights(std::size_t k, std::size_t p, const T* Y, const T* d,
+[[nodiscard]] bool letkf_weights(std::size_t k, std::size_t p, const T* Y, const T* d,
                    const T* rinv, T rtpp_alpha, T rho,
                    LetkfWorkspace<T>& ws, T* W) {
   letkf_build_gram(k, p, Y, rinv, rho, ws.yr, ws.a.data());

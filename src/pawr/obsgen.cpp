@@ -58,9 +58,20 @@ letkf::ObsVector regrid_scan(const VolumeScan& scan, const scale::Grid& grid,
         }
       }
 
+  // Emit in ascending cell-index order: iterating the hash map directly
+  // would bake its bucket layout into the observation order, and through
+  // the LETKF's (distance, index) tie-breaking into the analysis bytes —
+  // reproducible on one libstdc++, different on the next.
+  std::vector<std::size_t> keys;
+  keys.reserve(cells.size());
+  for (const auto& kv : cells)  // bda-style: allow(unordered-iteration-in-output): keys are sorted on the next line, so hash order cannot reach the ObsVector
+    keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+
   letkf::ObsVector obs;
   obs.reserve(cells.size());
-  for (const auto& [key, c] : cells) {
+  for (const std::size_t key : keys) {
+    const CellAccum& c = cells.find(key)->second;
     const idx k = static_cast<idx>(key % nz);
     const idx j = static_cast<idx>((key / nz) % ny);
     const idx i = static_cast<idx>(key / (static_cast<std::size_t>(ny) * nz));

@@ -67,7 +67,7 @@ struct State {
 
   /// True if any prognostic value is NaN/Inf (used by stability tests and
   /// the operational watchdog).
-  bool has_nonfinite() const;
+  [[nodiscard]] bool has_nonfinite() const;
 
   /// Elementwise linear combination: this = a*this + b*other (all fields).
   void axpby(real a, real b, const State& other);

@@ -44,3 +44,13 @@
 /// through std::condition_variable::wait).  Use sparingly and comment why.
 #define BDA_NO_THREAD_SAFETY_ANALYSIS \
   BDA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Ties a condition_variable member to the mutex guarding its predicate.
+/// Deliberately expands to nothing on every compiler — notifying without
+/// the lock held is legal and intentional here (PipelinedDriver notifies
+/// after unlock), so this must NOT become a clang guarded_by attribute.
+/// It exists for the machines: tools/bda_analyze (mutex-annotation check)
+/// requires every condition_variable to carry one, and
+/// tools/check_bda_style.py cross-checks that functions touching the cv
+/// also name the mutex.
+#define BDA_CV_OF(x)

@@ -136,8 +136,10 @@ class PipelinedDriver {
   std::chrono::steady_clock::time_point t0_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;  ///< wakes workers on job / shutdown
-  std::condition_variable idle_cv_;  ///< wakes drain() on completion
+  std::condition_variable work_cv_ BDA_CV_OF(mu_);  ///< wakes workers on
+                                                    ///< job / shutdown
+  std::condition_variable idle_cv_ BDA_CV_OF(mu_);  ///< wakes drain() on
+                                                    ///< completion
   std::vector<Group> groups_ BDA_GUARDED_BY(mu_);
   std::vector<ProductRecord> products_ BDA_GUARDED_BY(mu_);
   std::size_t launched_ BDA_GUARDED_BY(mu_) = 0;

@@ -160,10 +160,10 @@ TEST(BatchedSymEigen, WorkspaceReuseDoesNotLeakState) {
   BatchedSymEigen<float> solver(n);
   auto a1 = make(1), b_after = make(2), b_fresh = make(2);
   std::vector<float> w(n), w_after(n), w_fresh(n);
-  solver.solve(a1.data(), w.data());
-  solver.solve(b_after.data(), w_after.data());
+  ASSERT_TRUE(solver.solve(a1.data(), w.data()));
+  ASSERT_TRUE(solver.solve(b_after.data(), w_after.data()));
   BatchedSymEigen<float> fresh(n);
-  fresh.solve(b_fresh.data(), w_fresh.data());
+  ASSERT_TRUE(fresh.solve(b_fresh.data(), w_fresh.data()));
   for (std::size_t i = 0; i < n; ++i)
     EXPECT_FLOAT_EQ(w_after[i], w_fresh[i]);
 }

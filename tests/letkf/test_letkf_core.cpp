@@ -106,8 +106,8 @@ TEST(LetkfCore, MultipleObsReduceVarianceFurther) {
     }
     LetkfWorkspace<double> ws(k);
     std::vector<double> W(k * k);
-    letkf_weights<double>(k, p, Y.data(), d.data(), rinv.data(), 0.0, 1.0,
-                          ws, W.data());
+    EXPECT_TRUE(letkf_weights<double>(k, p, Y.data(), d.data(), rinv.data(),
+                                      0.0, 1.0, ws, W.data()));
     return moments(apply_weights(xb, W));
   };
   const auto one = analyze(1);
@@ -175,10 +175,10 @@ TEST(LetkfCore, PaperRtppDampsSpreadReduction) {
   for (std::size_t m = 0; m < k; ++m) Y[m] = xb[m] - mb.mean;
   LetkfWorkspace<double> ws(k);
   std::vector<double> W0(k * k), W95(k * k);
-  letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(), 0.0, 1.0, ws,
-                        W0.data());
-  letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(), 0.95, 1.0,
-                        ws, W95.data());
+  ASSERT_TRUE(letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(),
+                                    0.0, 1.0, ws, W0.data()));
+  ASSERT_TRUE(letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(),
+                                    0.95, 1.0, ws, W95.data()));
   const auto v0 = moments(apply_weights(xb, W0)).var;
   const auto v95 = moments(apply_weights(xb, W95)).var;
   EXPECT_LT(v0, 0.1);           // raw LETKF collapses against rinv=100
@@ -195,10 +195,10 @@ TEST(LetkfCore, InflationIncreasesWeightOnObservations) {
   for (std::size_t m = 0; m < k; ++m) Y[m] = xb[m] - mb.mean;
   LetkfWorkspace<double> ws(k);
   std::vector<double> W1(k * k), W2(k * k);
-  letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(), 0.0, 1.0, ws,
-                        W1.data());
-  letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(), 0.0, 1.5, ws,
-                        W2.data());
+  ASSERT_TRUE(letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(),
+                                    0.0, 1.0, ws, W1.data()));
+  ASSERT_TRUE(letkf_weights<double>(k, 1, Y.data(), d.data(), rinv.data(),
+                                    0.0, 1.5, ws, W2.data()));
   const double mean1 = moments(apply_weights(xb, W1)).mean;
   const double mean2 = moments(apply_weights(xb, W2)).mean;
   // rho > 1 inflates background variance -> analysis trusts obs more.

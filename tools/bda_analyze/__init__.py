@@ -1,0 +1,5 @@
+"""bda_analyze: determinism-contract static analysis for the BDA tree.
+
+Run as a directory script (python3 tools/bda_analyze) or via tools/lint.sh.
+See docs/ANALYSIS.md for the check catalog and suppression policy.
+"""

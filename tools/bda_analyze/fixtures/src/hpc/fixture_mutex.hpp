@@ -1,0 +1,26 @@
+// Fixture: mutex-annotation.  Analyzer input only — never compiled, so the
+// annotation macros are stubbed here instead of including util/.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#define BDA_GUARDED_BY(x)
+#define BDA_CV_OF(x)
+
+namespace fixture {
+
+// Fully annotated: the mutex guards a member, the cv names its mutex.
+class Good {
+  std::mutex mu_;
+  std::condition_variable cv_ BDA_CV_OF(mu_);
+  int queue_depth_ BDA_GUARDED_BY(mu_) = 0;
+};
+
+// Neither sync member is tied to anything: both flagged.
+class Bad {
+  std::mutex lonely_mu_;             // EXPECT: mutex-annotation
+  std::condition_variable free_cv_;  // EXPECT: mutex-annotation
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: unchecked-status.  Analyzer input only — never compiled.
+#include "fixture_status.hpp"
+
+namespace fixture {
+
+int cycle(int fd, const char* bytes, int n, const char* path) {
+  // Bare discarded status call: flagged.
+  push_segment(fd, bytes, n);  // EXPECT: unchecked-status
+
+  // Consumed in a condition / an initializer: both fine.
+  if (!push_segment(fd, bytes, n)) return -1;
+  const bool ok = push_segment(fd, bytes, n);
+
+  // Discarded struct-valued status: flagged.
+  transfer_file(path);  // EXPECT: unchecked-status
+
+  // Arity mismatch must NOT match the index (different function entirely).
+  push_segment(fd);
+
+  return ok ? 0 : 1;
+}
+
+}  // namespace fixture

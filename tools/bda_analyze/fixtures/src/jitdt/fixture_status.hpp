@@ -1,0 +1,14 @@
+// Fixture header: declares the status-returning functions that feed the
+// tree-wide index check_unchecked_status matches call sites against.
+#pragma once
+
+namespace fixture {
+
+struct TransferResult {
+  bool delivered = false;
+};
+
+bool push_segment(int fd, const char* bytes, int n);
+TransferResult transfer_file(const char* path);
+
+}  // namespace fixture

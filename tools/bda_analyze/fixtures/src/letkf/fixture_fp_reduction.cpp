@@ -1,0 +1,46 @@
+// Fixture: nondet-fp-reduction.  Analyzer input only — never compiled.
+#include <atomic>
+
+namespace fixture {
+
+// FP reduction variable: flagged.  The integer companion in the same
+// clause must NOT be flagged (exact in any order).
+double column_sum(const double* x, int n) {
+  double sum = 0.0;
+  long hits = 0;
+#pragma omp parallel for reduction(+ : sum, hits)  // EXPECT: nondet-fp-reduction
+  for (int i = 0; i < n; ++i) {
+    sum += x[i];
+    hits += 1;
+  }
+  return sum + double(hits);
+}
+
+// Pure integer reduction: no finding.
+long count_valid(const int* flags, int n) {
+  long kept = 0;
+#pragma omp parallel for reduction(+ : kept)
+  for (int i = 0; i < n; ++i)
+    if (flags[i] != 0) kept += 1;
+  return kept;
+}
+
+// Atomic FP accumulation commits in scheduling order: flagged.
+double accumulate(const double* x, int n) {
+  double total = 0.0;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+#pragma omp atomic  // EXPECT: nondet-fp-reduction
+    total += x[i];
+  }
+  return total;
+}
+
+// std::atomic over FP in a determinism dir: flagged.  The integer atomic
+// below it is fine.
+struct Stats {
+  std::atomic<double> drift{0.0};  // EXPECT: nondet-fp-reduction
+  std::atomic<long> cycles{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Negative fixture: the seeded violation below carries a *reasoned* allow,
+// so the analyzer must report nothing for this file — the finding moves to
+// the suppressed list instead.
+// EXPECT-SUPPRESSED: nondet-fp-reduction
+
+namespace fixture {
+
+double fold(const double* x, int n) {
+  double sum = 0.0;
+  // bda-style: allow(nondet-fp-reduction): fixture — proves a reasoned allow suppresses
+#pragma omp parallel for reduction(+ : sum)
+  for (int i = 0; i < n; ++i) sum += x[i];
+  return sum;
+}
+
+}  // namespace fixture

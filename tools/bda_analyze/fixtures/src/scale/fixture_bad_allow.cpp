@@ -1,0 +1,15 @@
+// Fixture: an allow() WITHOUT a reason must not suppress — the original
+// finding stays, and the marker itself is reported as bad-allow.
+
+namespace fixture {
+
+double fold(const double* x, int n) {
+  double sum = 0.0;
+  // EXPECT-NEXT: bad-allow
+  // bda-style: allow(nondet-fp-reduction)
+#pragma omp parallel for reduction(+ : sum)  // EXPECT: nondet-fp-reduction
+  for (int i = 0; i < n; ++i) sum += x[i];
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: rng-thread-discipline.
+//
+// Seeded violations carry `// EXPECT: <check>` markers; selftest.py fails
+// unless bda_analyze reports exactly the marked lines (nothing more,
+// nothing less).  This file is analyzer input only — it is never compiled.
+#include <future>
+#include <random>
+
+namespace fixture {
+
+struct Rng {
+  explicit Rng(unsigned seed);
+  double normal();
+};
+
+// Calling-thread construction and draws: the staged-API pattern, no finding.
+double staged_ok() {
+  Rng rng(7);
+  return rng.normal();
+}
+
+// A draw inside a std::async lambda splits the random stream across a
+// schedule-dependent interleaving — both lines must be flagged.
+double worker_bad() {
+  auto fut = std::async(std::launch::async, [] {
+    std::mt19937 gen(42);                 // EXPECT: rng-thread-discipline
+    std::uniform_real_distribution<double> dist(0.0, 1.0);  // EXPECT: rng-thread-discipline
+    return dist(gen);
+  });
+  return fut.get();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: unordered-iteration-in-output.  Analyzer input only.
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Hash-order iteration feeding push_back: the bucket layout becomes the
+// vector order — flagged.
+std::vector<int> leak_order(const std::unordered_map<int, int>& cells) {
+  std::vector<int> out;
+  for (const auto& kv : cells)  // EXPECT: unordered-iteration-in-output
+    out.push_back(kv.second);
+  return out;
+}
+
+// Order-free aggregation over the same container: no finding.
+int count_positive(const std::unordered_map<int, int>& cells) {
+  int n = 0;
+  for (const auto& kv : cells)
+    n += kv.second > 0 ? 1 : 0;
+  return n;
+}
+
+}  // namespace fixture

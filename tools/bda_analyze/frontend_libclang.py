@@ -1,0 +1,153 @@
+"""Optional libclang (clang.cindex) frontend.
+
+When the Python clang bindings and a loadable libclang are present, facts
+are extracted from the real AST instead of the lexical scanner: class
+members and their thread-safety attributes come from FIELD_DECL cursors,
+worker contexts from LAMBDA_EXPR cursors under std::async/std::thread call
+expressions, and unordered-container loops from CXX_FOR_RANGE_STMT over
+variables whose canonical type names std::unordered_*.
+
+The lexical frontend in facts.py remains the frontend of record — it runs
+on any toolchain (this repo's minimal container has no libclang at all) and
+the fixture corpus gates it in CI.  This module upgrades precision when it
+can and degrades to `None` (caller falls back) when it cannot; it never
+raises out of `extract`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+try:  # pragma: no cover - environment-dependent
+    from clang import cindex as _ci
+    try:
+        _ci.Index.create()
+        AVAILABLE = True
+    except Exception:
+        AVAILABLE = False
+except Exception:  # ModuleNotFoundError or broken binding
+    _ci = None
+    AVAILABLE = False
+
+import cpplex
+import facts as facts_mod
+
+
+def available() -> bool:
+    return AVAILABLE
+
+
+def _span_for(extent, code: str, lm) -> cpplex.Span:
+    # libclang extents are line/column based; map to byte offsets via the
+    # shared LineMap so Finding line numbers match the lexical frontend.
+    start = lm.starts[extent.start.line - 1] + extent.start.column - 1
+    end = lm.starts[extent.end.line - 1] + extent.end.column - 1
+    return cpplex.Span(start, min(end, len(code)))
+
+
+def extract(path: Path, rel: str, args: list[str] | None):
+    """FileFacts from the AST, or None when parsing is unusable."""
+    if not AVAILABLE:
+        return None
+    try:
+        index = _ci.Index.create()
+        tu = index.parse(str(path), args=(args or []) + ["-std=c++20"],
+                         options=_ci.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES
+                         * 0)
+    except Exception:
+        return None
+    if tu is None:
+        return None
+    fatal = [d for d in tu.diagnostics if d.severity >= _ci.Diagnostic.Fatal]
+    if fatal:
+        return None
+
+    # Start from the lexical facts (pragmas and function spans are cheaper
+    # and just as precise lexically), then replace the AST-improvable parts.
+    base = facts_mod.extract(path, rel)
+    code, lm = base.code, base.linemap
+
+    classes: list[facts_mod.ClassFacts] = []
+    contexts: list[facts_mod.ThreadContext] = []
+    loops: list[facts_mod.UnorderedLoop] = []
+
+    def visit(cursor, class_stack):
+        for child in cursor.get_children():
+            if child.location.file and \
+                    Path(str(child.location.file)) != path.resolve() and \
+                    Path(str(child.location.file)) != path:
+                continue
+            kind = child.kind
+            if kind in (_ci.CursorKind.CLASS_DECL,
+                        _ci.CursorKind.STRUCT_DECL) and child.is_definition():
+                cf = facts_mod.ClassFacts(
+                    name=child.spelling or "<anon>",
+                    line=child.location.line,
+                    keyword="struct" if kind == _ci.CursorKind.STRUCT_DECL
+                    else "class")
+                classes.append(cf)
+                visit(child, class_stack + [cf])
+                continue
+            if kind == _ci.CursorKind.FIELD_DECL and class_stack:
+                t = child.type.get_canonical().spelling
+                cf = class_stack[-1]
+                kindname = None
+                if "condition_variable" in t:
+                    kindname = "condition_variable"
+                elif t.endswith("::mutex") or t == "std::mutex":
+                    kindname = "mutex"
+                if kindname:
+                    # Attribute arguments aren't exposed portably across
+                    # libclang versions; read them lexically off the decl.
+                    import re as _re
+                    decl_line = base.raw.splitlines()[
+                        child.location.line - 1] if \
+                        child.location.line <= len(base.raw.splitlines()) \
+                        else ""
+                    g = _re.search(r"BDA_GUARDED_BY\(\s*(\w+)\s*\)",
+                                   decl_line)
+                    cf.sync_members.append(facts_mod.SyncMember(
+                        kind=kindname, name=child.spelling,
+                        class_name=cf.name, line=child.location.line,
+                        guarded_by=g.group(1) if g else None))
+                else:
+                    import re as _re
+                    decl_line = base.raw.splitlines()[
+                        child.location.line - 1] if \
+                        child.location.line <= len(base.raw.splitlines()) \
+                        else ""
+                    for gm in _re.finditer(
+                            r"BDA_(?:PT_)?GUARDED_BY\(\s*(\w+)\s*\)",
+                            decl_line):
+                        class_stack[-1].guard_targets.add(gm.group(1))
+            if kind == _ci.CursorKind.CALL_EXPR and \
+                    child.spelling in ("async", "thread", "jthread",
+                                       "emplace_back", "push_back"):
+                for sub in child.walk_preorder():
+                    if sub.kind == _ci.CursorKind.LAMBDA_EXPR:
+                        contexts.append(facts_mod.ThreadContext(
+                            span=_span_for(sub.extent, code, lm),
+                            line=sub.location.line,
+                            origin=f"std::{child.spelling}"))
+            if kind == _ci.CursorKind.CXX_FOR_RANGE_STMT:
+                rng_type = ""
+                for sub in child.get_children():
+                    rng_type = sub.type.get_canonical().spelling
+                    break
+                if "unordered_" in rng_type:
+                    loops.append(facts_mod.UnorderedLoop(
+                        container=child.spelling or "<range>",
+                        line=child.location.line,
+                        body=_span_for(child.extent, code, lm)))
+            visit(child, class_stack)
+
+    try:
+        visit(tu.cursor, [])
+    except Exception:
+        return None
+
+    base.classes = classes or base.classes
+    base.thread_contexts = contexts or base.thread_contexts
+    base.unordered_loops = loops or base.unordered_loops
+    base.frontend = "libclang"
+    return base

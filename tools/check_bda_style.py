@@ -19,8 +19,11 @@ Three invariants that neither the compiler nor clang-tidy fully enforce:
    ``BDA_REQUIRES(mu)``).  This is the portable cross-check for clang's
    -Wthread-safety on toolchains without clang.
 
-Suppress a finding with ``// bda-style: allow(<check-name>)`` on the same
-line, plus a reason.  Exit status: 0 clean, 1 findings, 2 usage error.
+Suppress a finding with ``// bda-style: allow(<check-name>): <reason>`` on
+the same line.  The reason is mandatory (same contract as ``double-ok``,
+and the same grammar ``tools/bda_analyze`` uses): an ``allow()`` with no
+reason does not suppress, and is itself reported as ``bad-allow``.
+Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
 from __future__ import annotations
@@ -42,7 +45,10 @@ PUNNING_ALLOWED = {"src/util/binary_io.cpp"}
 # annotating every line.  Must carry a reason on the same line.
 DOUBLE_OK_RE = re.compile(r"//\s*bda-style:\s*double-ok\b.*\S")
 
-ALLOW_RE = re.compile(r"//\s*bda-style:\s*allow\((?P<name>[\w-]+)\)")
+# The reason after the close paren is mandatory (`.*\S`, parity with
+# DOUBLE_OK_RE); a bare allow() is reported by check_bad_allows below.
+ALLOW_RE = re.compile(
+    r"//\s*bda-style:\s*allow\((?P<name>[\w-]+)\)(?P<reason>.*)")
 
 # An unsuffixed floating literal: 1.5, .5, 1., 1e-4, 1.5e3 — but not 1.5f,
 # not part of an identifier or version string, not hex (0x1.8p3).
@@ -73,7 +79,11 @@ def mask_wrapped_spans(code: str) -> str:
                     break
     return "".join(out)
 
-GUARDED_RE = re.compile(r"(\w+)\s*(?:\n\s*)?BDA_GUARDED_BY\(\s*(\w+)\s*\)")
+# BDA_CV_OF ties a condition_variable to its mutex (documentation-only
+# macro; see util/annotations.hpp).  For the cross-check it behaves like
+# BDA_GUARDED_BY: any function touching the cv must name the mutex.
+GUARDED_RE = re.compile(
+    r"(\w+)\s*(?:\n\s*)?BDA_(?:GUARDED_BY|CV_OF)\(\s*(\w+)\s*\)")
 REQUIRES_RE = re.compile(r"BDA_REQUIRES\(\s*([\w, ]+)\)")
 
 
@@ -117,6 +127,26 @@ def iter_cxx_files():
                 yield p
 
 
+def _allow_reason_ok(reason: str) -> bool:
+    return bool(re.search(r"\S", reason.lstrip(":").lstrip("—-")))
+
+
+def check_bad_allows(path: Path, text: str, f: Findings):
+    """Every allow() must carry a reason — the suppression *is* the place
+    where the justification lives (same policy as double-ok, same grammar
+    as tools/bda_analyze)."""
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        m = ALLOW_RE.search(raw)
+        if m and not _allow_reason_ok(m.group("reason")):
+            # Report directly: Findings.add would let the bad allow()
+            # suppress its own finding.
+            rel = path.relative_to(REPO)
+            f.items.append(
+                f"{rel}:{lineno}: [bad-allow] allow({m.group('name')}) "
+                f"without a reason — write "
+                f"'// bda-style: allow({m.group('name')}): <why>'")
+
+
 class Findings:
     def __init__(self):
         self.items: list[str] = []
@@ -124,9 +154,12 @@ class Findings:
     def add(self, path: Path, lineno: int, check: str, msg: str,
             line: str = ""):
         rel = path.relative_to(REPO)
-        if line and ALLOW_RE.search(line):
+        if line:
             m = ALLOW_RE.search(line)
-            if m.group("name") == check:
+            # Only a reasoned allow() suppresses; a bare one is reported
+            # separately by check_bad_allows and the finding stands.
+            if m and m.group("name") == check and \
+                    _allow_reason_ok(m.group("reason")):
                 return
         self.items.append(f"{rel}:{lineno}: [{check}] {msg}")
 
@@ -224,7 +257,7 @@ def check_guarded_by(f: Findings):
                     # Declaration site in the header is not a use.
                     if re.search(
                             rf"\b{re.escape(member)}\b\s*(?:\n\s*)?"
-                            r"BDA_GUARDED_BY", clean):
+                            r"BDA_(?:GUARDED_BY|CV_OF)", clean):
                         continue
                     ok = (
                         re.search(rf"\b{re.escape(mu)}\b", clean)
@@ -276,6 +309,7 @@ def main() -> int:
         text = p.read_text(errors="replace")
         check_double_literals(p, text, f)
         check_reinterpret_cast(p, text, f)
+        check_bad_allows(p, text, f)
     check_guarded_by(f)
     if f.items:
         for item in f.items:
