@@ -1,5 +1,6 @@
 #include "hpc/comm.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -37,8 +38,19 @@ void CommWorld::deliver(int dest, int source, int tag, const Buffer& data) {
   {
     std::lock_guard<std::mutex> lock(box.mu);
     box.queues[{source, tag}].push_back(data);
+    ++box.depth;
+    box.peak_depth = std::max(box.peak_depth, box.depth);
   }
   box.cv.notify_all();
+}
+
+std::size_t CommWorld::peak_mailbox_depth() {
+  std::size_t peak = 0;
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box.mu);
+    peak = std::max(peak, box.peak_depth);
+  }
+  return peak;
 }
 
 Buffer CommWorld::take(int self, int source, int tag) {
@@ -52,6 +64,7 @@ Buffer CommWorld::take(int self, int source, int tag) {
   auto& q = box.queues[key];
   Buffer out = std::move(q.front());
   q.erase(q.begin());
+  --box.depth;
   return out;
 }
 

@@ -30,7 +30,18 @@ class Comm {
   int rank() const { return rank_; }
   int size() const;
 
-  /// Blocking tagged send (copies the buffer into the destination mailbox).
+  /// Tagged send (copies the buffer into the destination mailbox).
+  ///
+  /// Capacity contract: mailboxes are UNBOUNDED, so send() enqueues and
+  /// returns without ever blocking on the receiver — MPI_Bsend semantics
+  /// with an infinite buffer, not a rendezvous.  Callers are allowed to
+  /// post all their sends before any recv (exchange_halo and the sharded
+  /// shuffle do exactly that); with bounded mailboxes that pattern would
+  /// deadlock.  Anything that adds backpressure here must first convert
+  /// those call sites to posted/nonblocking receives.  The cost of the
+  /// contract is memory: CommWorld::peak_mailbox_depth() exposes the
+  /// high-water mark so tests and benches can see how deep the queues
+  /// actually get.
   void send(int dest, int tag, const Buffer& data);
   /// Blocking tagged receive from a specific source.
   Buffer recv(int source, int tag);
@@ -59,6 +70,12 @@ class CommWorld {
   /// Exceptions thrown by any rank are rethrown (first one wins).
   void run(const std::function<void(Comm&)>& fn);
 
+  /// High-water mark of messages queued in any single mailbox since
+  /// construction (the observable side of the unbounded-capacity contract
+  /// on Comm::send).  Takes each mailbox lock briefly; meant for tests and
+  /// end-of-run reporting, not the hot path.
+  std::size_t peak_mailbox_depth();
+
  private:
   friend class Comm;
   struct Mailbox {
@@ -67,6 +84,8 @@ class CommWorld {
     // Keyed by (source, tag); FIFO per key.
     std::map<std::pair<int, int>, std::vector<Buffer>> queues
         BDA_GUARDED_BY(mu);
+    std::size_t depth BDA_GUARDED_BY(mu) = 0;       ///< messages queued now
+    std::size_t peak_depth BDA_GUARDED_BY(mu) = 0;  ///< high-water mark
   };
   void deliver(int dest, int source, int tag, const Buffer& data);
   Buffer take(int self, int source, int tag);

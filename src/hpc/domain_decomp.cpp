@@ -34,10 +34,7 @@ int TileLayout::neighbor(int dx, int dy) const {
   return rank_of(cx + dx, cy + dy, px, py);
 }
 
-namespace {
-
-/// Pack a rectangular (i, j) range (all k levels) into a byte buffer.
-Buffer pack(const RField3D& f, idx i_lo, idx i_hi, idx j_lo, idx j_hi) {
+Buffer pack_range(const RField3D& f, idx i_lo, idx i_hi, idx j_lo, idx j_hi) {
   const std::size_t nz = static_cast<std::size_t>(f.nz());
   Buffer buf;
   buf.reserve(static_cast<std::size_t>(i_hi - i_lo) *
@@ -50,14 +47,14 @@ Buffer pack(const RField3D& f, idx i_lo, idx i_hi, idx j_lo, idx j_hi) {
   return buf;
 }
 
-void unpack(const Buffer& buf, RField3D& f, idx i_lo, idx i_hi, idx j_lo,
-            idx j_hi) {
+void unpack_range(const Buffer& buf, RField3D& f, idx i_lo, idx i_hi,
+                  idx j_lo, idx j_hi) {
   const std::size_t nz = static_cast<std::size_t>(f.nz());
   std::size_t pos = 0;
   if (buf.size() != static_cast<std::size_t>(i_hi - i_lo) *
                         static_cast<std::size_t>(j_hi - j_lo) * nz *
                         sizeof(real))
-    throw std::runtime_error("exchange_halo: strip size mismatch");
+    throw std::runtime_error("unpack_range: strip size mismatch");
   for (idx i = i_lo; i < i_hi; ++i)
     for (idx j = j_lo; j < j_hi; ++j) {
       auto col = f.column(i, j);
@@ -66,12 +63,19 @@ void unpack(const Buffer& buf, RField3D& f, idx i_lo, idx i_hi, idx j_lo,
     }
 }
 
-}  // namespace
-
 void exchange_halo(Comm& comm, const TileLayout& layout, RField3D& tile,
                    int tag_base) {
   const idx h = tile.halo();
   const idx nx = tile.nx(), ny = tile.ny();
+  if (nx != layout.nx || ny != layout.ny)
+    throw std::invalid_argument(
+        "exchange_halo: tile extent does not match layout");
+  // With h > nx (or ny) the strip a neighbour needs would extend past the
+  // nearest rank: pack_range(tile, nx - h, nx, ...) would start at a
+  // negative interior index and read out of range.  The self-neighbour
+  // px*py == 1 case hits the same read, so it is validated identically.
+  if (h > nx || h > ny)
+    throw std::invalid_argument("exchange_halo: halo wider than tile");
   const int left = layout.neighbor(-1, 0);
   const int right = layout.neighbor(+1, 0);
   const int down = layout.neighbor(0, -1);
@@ -80,17 +84,17 @@ void exchange_halo(Comm& comm, const TileLayout& layout, RField3D& tile,
 
   // Phase 1: x-direction (interior j only).  A rank's left edge goes to
   // the left neighbour's right halo and vice versa.
-  comm.send(left, t0 + 0, pack(tile, 0, h, 0, ny));
-  comm.send(right, t0 + 1, pack(tile, nx - h, nx, 0, ny));
-  unpack(comm.recv(right, t0 + 0), tile, nx, nx + h, 0, ny);
-  unpack(comm.recv(left, t0 + 1), tile, -h, 0, 0, ny);
+  comm.send(left, t0 + 0, pack_range(tile, 0, h, 0, ny));
+  comm.send(right, t0 + 1, pack_range(tile, nx - h, nx, 0, ny));
+  unpack_range(comm.recv(right, t0 + 0), tile, nx, nx + h, 0, ny);
+  unpack_range(comm.recv(left, t0 + 1), tile, -h, 0, 0, ny);
 
   // Phase 2: y-direction including the freshly filled x halos, which
   // propagates the diagonal corners in the standard two-phase pattern.
-  comm.send(down, t0 + 2, pack(tile, -h, nx + h, 0, h));
-  comm.send(up, t0 + 3, pack(tile, -h, nx + h, ny - h, ny));
-  unpack(comm.recv(up, t0 + 2), tile, -h, nx + h, ny, ny + h);
-  unpack(comm.recv(down, t0 + 3), tile, -h, nx + h, -h, 0);
+  comm.send(down, t0 + 2, pack_range(tile, -h, nx + h, 0, h));
+  comm.send(up, t0 + 3, pack_range(tile, -h, nx + h, ny - h, ny));
+  unpack_range(comm.recv(up, t0 + 2), tile, -h, nx + h, ny, ny + h);
+  unpack_range(comm.recv(down, t0 + 3), tile, -h, nx + h, -h, 0);
 }
 
 RField3D extract_tile(const RField3D& global, const TileLayout& layout,

@@ -31,8 +31,25 @@ struct TileLayout {
 /// (including the diagonal corners, handled by the standard two-phase
 /// x-then-y exchange).  Blocking; all ranks must call collectively.
 /// `tag_base` separates concurrent exchanges of different fields.
+///
+/// Requirements (validated, std::invalid_argument otherwise): the tile's
+/// interior extent must match `layout` and the halo must fit inside the
+/// interior (halo <= nx and halo <= ny) — a wider halo would need strips
+/// from beyond the nearest neighbour, which the four-neighbour pattern
+/// cannot supply.  All four sends are posted before any recv; that is safe
+/// only under Comm::send's unbounded-mailbox capacity contract (comm.hpp),
+/// and it is what makes the px*py == 1 self-neighbour case (every send
+/// loops back to the caller's own mailbox) deadlock-free.
 void exchange_halo(Comm& comm, const TileLayout& layout, RField3D& tile,
                    int tag_base = 0);
+
+/// Serialize / restore a rectangular (i, j) index range of a field (all k
+/// levels, columns in (i, j) row-major order).  Range indices may dip into
+/// the halo (valid field indices required).  Shared by exchange_halo and
+/// the sharded member<->domain shuffle (hpc::ShardedEngine).
+Buffer pack_range(const RField3D& f, idx i_lo, idx i_hi, idx j_lo, idx j_hi);
+void unpack_range(const Buffer& buf, RField3D& f, idx i_lo, idx i_hi,
+                  idx j_lo, idx j_hi);
 
 /// Scatter a global field into per-rank tiles (returns this rank's tile,
 /// halo uninitialized) and gather tiles back into a global field.  Utility

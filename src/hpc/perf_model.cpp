@@ -127,6 +127,29 @@ double BdaCostModel::t_forecast(std::size_t cells, int members, long steps,
   return double(cells) * double(members) * double(steps) / rate;
 }
 
+ShardProjection BdaCostModel::project_shards(const ShardMeasure& m,
+                                             int nodes) const {
+  ShardProjection out;
+  out.nodes = nodes;
+  // Serial-equivalent work: the measured per-shard max times the shard
+  // count (the host ranks split the same total work the paper's partition
+  // splits); model_complexity lifts the advance to operational physics.
+  const double advance_work = m.advance_cpu_s * double(m.ranks);
+  const double analysis_work = m.analysis_cpu_s * double(m.ranks);
+  out.t_advance_s = advance_work * spec_.model_complexity /
+                    (spec_.node_speedup * double(nodes) *
+                     spec_.parallel_eff_model);
+  out.t_analysis_s = analysis_work / (spec_.node_speedup * double(nodes) *
+                                      spec_.parallel_eff_letkf);
+  // The shuffle is all-to-all but each byte crosses a node injection link
+  // once in each direction; with `nodes` links moving concurrently the
+  // wall time is per-node bytes over per-node bandwidth.
+  out.t_shuffle_s =
+      (m.shuffle_bytes / double(nodes)) / spec_.network_bw_bytes_per_s;
+  out.t_total_s = out.t_advance_s + out.t_analysis_s + out.t_shuffle_s;
+  return out;
+}
+
 double BdaCostModel::t_transfer(double bytes, double eff_bw_bytes_per_s,
                                 double overhead_s) {
   return overhead_s + bytes / eff_bw_bytes_per_s;

@@ -47,6 +47,28 @@ struct FugakuSpec {
   int nodes_analysis = 8008;   ///< part <1> partition
   int nodes_forecast = 880;    ///< part <2> partition
   int nodes_outer = 2002;      ///< outer-domain partition
+  /// Per-node injection bandwidth for the member<->domain shuffle (Tofu
+  /// interconnect D, one of six 6.8 GB/s links sustained per node).
+  double network_bw_bytes_per_s = 6.8e9;
+};
+
+/// One measured sharded-cycle data point (bench_shard_scaling): per-cycle
+/// per-shard costs on the host, threads-as-ranks.  CPU-time fields are the
+/// max over ranks (node-exclusive TTS on an oversubscribed host).
+struct ShardMeasure {
+  int ranks = 1;
+  double advance_cpu_s = 0;   ///< <1-2> member-block advance, max over ranks
+  double analysis_cpu_s = 0;  ///< H(x) + prepare + windowed LETKF, max
+  double shuffle_bytes = 0;   ///< member<->domain bytes crossing ranks
+};
+
+/// The same cycle projected onto a Fugaku partition of `nodes` shards.
+struct ShardProjection {
+  int nodes = 0;
+  double t_advance_s = 0;   ///< <1-2>
+  double t_analysis_s = 0;  ///< <1-1>
+  double t_shuffle_s = 0;   ///< in-memory member<->domain redistribution
+  double t_total_s = 0;
 };
 
 /// Component times for the paper's workflow, all in seconds.
@@ -74,6 +96,14 @@ class BdaCostModel {
   /// file output on the exclusive disk volume).
   static double t_file(double bytes, double disk_bw_bytes_per_s,
                        double overhead_s);
+
+  /// Project one measured sharded cycle to a partition of `nodes` shards:
+  /// the serial-equivalent work (max-per-rank cost x ranks) is spread over
+  /// nodes at node_speedup with the per-component efficiencies, and the
+  /// shuffle bytes cross each node's injection link once.  The paper-scale
+  /// question this answers: does the in-memory redistribution stay cheap
+  /// relative to <1-1>/<1-2> at 11,580 nodes?
+  ShardProjection project_shards(const ShardMeasure& m, int nodes) const;
 
   const HostCalibration& calibration() const { return cal_; }
   const FugakuSpec& spec() const { return spec_; }

@@ -12,25 +12,25 @@ namespace bda::letkf {
 Letkf::Letkf(const scale::Grid& grid, LetkfConfig cfg)
     : grid_(grid), cfg_(cfg) {}
 
-AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
-                             const ObsOperator& op) const {
-  const std::size_t k = static_cast<std::size_t>(ens.size());
-  AnalysisStats stats;
-  stats.n_obs_in = obs_in.size();
-  if (k < 2 || obs_in.empty()) return stats;
+std::vector<real> Letkf::member_hx(const scale::State& member,
+                                   const ObsVector& obs_in,
+                                   const ObsOperator& op) {
+  std::vector<real> hx(obs_in.size());
+  for (std::size_t n = 0; n < obs_in.size(); ++n)
+    hx[n] = op.apply(member, obs_in[n]);
+  return hx;
+}
 
-  // ---- H(x) for every (obs, member): hx[n*k + m].  The ensemble-mean
-  // equivalent and innovation follow; gross-error QC drops outliers.
+PreparedObs Letkf::prepare(const ObsVector& obs_in,
+                           const std::vector<real>& hx,
+                           std::size_t k) const {
+  PreparedObs prep;
+  prep.stats.n_obs_in = obs_in.size();
   const std::size_t n_all = obs_in.size();
-  std::vector<real> hx(n_all * k);
-#pragma omp parallel for
-  for (std::size_t n = 0; n < n_all; ++n)
-    for (std::size_t m = 0; m < k; ++m)
-      hx[n * k + m] = op.apply(ens.member(static_cast<int>(m)), obs_in[n]);
 
-  ObsVector obs;
-  obs.reserve(n_all);
-  std::vector<real> ymean;  // mean H(x) per kept obs
+  // Ensemble-mean H(x) and innovation per obs; gross-error QC drops
+  // outliers (clear-air reflectivity reports are exempt).
+  prep.obs.reserve(n_all);
   std::vector<std::size_t> keep;
   double sum_abs_inno = 0.0;
   for (std::size_t n = 0; n < n_all; ++n) {
@@ -45,53 +45,66 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
         obs_in[n].type == ObsType::kReflectivity &&
         obs_in[n].value < cfg_.clear_air_below;
     if (!clear_air_report && std::abs(inno) > thresh) {
-      ++stats.n_obs_qc;
+      ++prep.stats.n_obs_qc;
       continue;
     }
     keep.push_back(n);
-    obs.push_back(obs_in[n]);
-    ymean.push_back(mean);
+    prep.obs.push_back(obs_in[n]);
+    prep.ymean.push_back(mean);
     sum_abs_inno += double(std::abs(inno));
   }
-  if (obs.empty()) return stats;
-  stats.mean_abs_innovation = sum_abs_inno / double(obs.size());
+  if (prep.obs.empty()) return prep;
+  prep.stats.mean_abs_innovation = sum_abs_inno / double(prep.obs.size());
 
   // Compact observation-space perturbations for kept obs: yp[n*k + m].
-  const std::size_t n_obs = obs.size();
-  std::vector<real> yp(n_obs * k);
+  const std::size_t n_obs = prep.obs.size();
+  prep.yp.resize(n_obs * k);
   for (std::size_t n = 0; n < n_obs; ++n) {
     const std::size_t src = keep[n];
     for (std::size_t m = 0; m < k; ++m)
-      yp[n * k + m] = hx[src * k + m] - ymean[n];
+      prep.yp[n * k + m] = hx[src * k + m] - prep.ymean[n];
   }
 
   // Innovation-consistency moments (Desroziers): feed AdaptiveInflation.
   {
     double d2 = 0, rr = 0, hh = 0;
     for (std::size_t n = 0; n < n_obs; ++n) {
-      const double d = double(obs[n].value) - double(ymean[n]);
+      const double d = double(prep.obs[n].value) - double(prep.ymean[n]);
       d2 += d * d;
-      rr += double(obs[n].error) * double(obs[n].error);
+      rr += double(prep.obs[n].error) * double(prep.obs[n].error);
       double var = 0;
       for (std::size_t m = 0; m < k; ++m)
-        var += double(yp[n * k + m]) * double(yp[n * k + m]);
+        var += double(prep.yp[n * k + m]) * double(prep.yp[n * k + m]);
       hh += var / double(k - 1);
     }
-    stats.moments.n_obs = n_obs;
-    stats.moments.mean_innov2 = d2 / double(n_obs);
-    stats.moments.mean_obs_var = rr / double(n_obs);
-    stats.moments.mean_ens_var = hh / double(n_obs);
+    prep.stats.moments.n_obs = n_obs;
+    prep.stats.moments.mean_innov2 = d2 / double(n_obs);
+    prep.stats.moments.mean_obs_var = rr / double(n_obs);
+    prep.stats.moments.mean_ens_var = hh / double(n_obs);
   }
+  return prep;
+}
+
+WindowTally Letkf::analyze_window(const PreparedObs& prep,
+                                  const EnsembleSlab& slab, idx i_lo,
+                                  idx i_hi, idx j_lo, idx j_hi) const {
+  const std::size_t k = slab.members.size();
+  const ObsVector& obs = prep.obs;
+  const std::vector<real>& ymean = prep.ymean;
+  const std::vector<real>& yp = prep.yp;
+  WindowTally tally;
+  if (k < 2 || obs.empty()) return tally;
 
   const real cutoff_h = 2 * cfg_.hloc;
   const real cutoff_v = 2 * cfg_.vloc;
   ObsIndex index(obs, cutoff_h);
 
-  const idx nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+  const idx nz = grid_.nz();
 
   // All reduction accumulators are integers on purpose: integer addition
-  // is exact in any order, so the dynamic schedule cannot perturb the
-  // stats (tools/bda_analyze nondet-fp-reduction would flag a double).
+  // is exact in any order, so neither the dynamic schedule nor the window
+  // decomposition can perturb the stats (tools/bda_analyze
+  // nondet-fp-reduction would flag a double).
   std::size_t grid_updated = 0;
   std::size_t local_obs_count = 0;
   std::size_t eig_fail_levels = 0;
@@ -102,7 +115,9 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
                                    weight_solves, eig_batches)
   {
     // One column solver per thread: the weight cache + batched eigensolver
-    // workspace are reused across every column the thread analyzes.
+    // workspace are reused across every column the thread analyzes.  The
+    // cache resets per column (begin_column), so its hits/misses depend
+    // only on the column — not on which window or thread analyzed it.
     ColumnWeightSolver<real> solver(k, static_cast<std::size_t>(nz),
                                     cfg_.rtpp_alpha, cfg_.infl_rho,
                                     cfg_.eig_max_iters);
@@ -119,8 +134,8 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
     std::vector<LevelPlan> plan;
 
 #pragma omp for collapse(2) schedule(dynamic, 4)
-    for (idx i = 0; i < nx; ++i)
-      for (idx j = 0; j < ny; ++j) {
+    for (idx i = i_lo; i < i_hi; ++i)
+      for (idx j = j_lo; j < j_hi; ++j) {
         cand.clear();
         index.query(grid_.xc(i), grid_.yc(j), cutoff_h, cand);
         if (cand.empty()) continue;
@@ -200,7 +215,10 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
         // column (KeDV-style), then weight assembly per unique slot.
         solver.solve();
 
-        // Pass 2: apply each level's (possibly shared) weight matrix.
+        // Pass 2: apply each level's (possibly shared) weight matrix to
+        // the member fields at local column (i - x0, j - y0).
+        const idx li = i - slab.x0;
+        const idx lj = j - slab.y0;
         for (const auto& lv : plan) {
           if (!solver.converged(lv.slot)) {
             // Non-convergence leaves the gridpoint un-analyzed; count it
@@ -217,7 +235,7 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
           auto update = [&](auto&& get, auto&& set) {
             real mean = 0;
             for (std::size_t m = 0; m < k; ++m) {
-              xb[m] = get(static_cast<int>(m));
+              xb[m] = get(m);
               mean += xb[m];
             }
             mean /= real(k);
@@ -225,29 +243,45 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
             for (std::size_t m = 0; m < k; ++m) {
               real s = mean;
               for (std::size_t l = 0; l < k; ++l) s += xb[l] * W[l * k + m];
-              set(static_cast<int>(m), s);
+              set(m, s);
             }
           };
 
-          update([&](int m) { return ens.member(m).rhot(i, j, kk); },
-                 [&](int m, real v) { ens.member(m).rhot(i, j, kk) = v; });
-          update([&](int m) { return ens.member(m).dens(i, j, kk); },
-                 [&](int m, real v) {
-                   ens.member(m).dens(i, j, kk) = std::max(v, real(1e-3));
+          update([&](std::size_t m) { return slab.members[m]->rhot(li, lj, kk); },
+                 [&](std::size_t m, real v) {
+                   slab.members[m]->rhot(li, lj, kk) = v;
+                 });
+          update([&](std::size_t m) { return slab.members[m]->dens(li, lj, kk); },
+                 [&](std::size_t m, real v) {
+                   slab.members[m]->dens(li, lj, kk) = std::max(v, real(1e-3));
                  });
           for (int t = 0; t < scale::kNumTracers; ++t)
             update(
-                [&](int m) { return ens.member(m).rhoq[t](i, j, kk); },
-                [&](int m, real v) {
-                  ens.member(m).rhoq[t](i, j, kk) = std::max(v, real(0));
+                [&](std::size_t m) {
+                  return slab.members[m]->rhoq[t](li, lj, kk);
+                },
+                [&](std::size_t m, real v) {
+                  slab.members[m]->rhoq[t](li, lj, kk) = std::max(v, real(0));
                 });
           if (cfg_.update_momentum) {
-            update([&](int m) { return ens.member(m).momx(i, j, kk); },
-                   [&](int m, real v) { ens.member(m).momx(i, j, kk) = v; });
-            update([&](int m) { return ens.member(m).momy(i, j, kk); },
-                   [&](int m, real v) { ens.member(m).momy(i, j, kk) = v; });
-            update([&](int m) { return ens.member(m).momz(i, j, kk); },
-                   [&](int m, real v) { ens.member(m).momz(i, j, kk) = v; });
+            update([&](std::size_t m) {
+                     return slab.members[m]->momx(li, lj, kk);
+                   },
+                   [&](std::size_t m, real v) {
+                     slab.members[m]->momx(li, lj, kk) = v;
+                   });
+            update([&](std::size_t m) {
+                     return slab.members[m]->momy(li, lj, kk);
+                   },
+                   [&](std::size_t m, real v) {
+                     slab.members[m]->momy(li, lj, kk) = v;
+                   });
+            update([&](std::size_t m) {
+                     return slab.members[m]->momz(li, lj, kk);
+                   },
+                   [&](std::size_t m, real v) {
+                     slab.members[m]->momz(li, lj, kk) = v;
+                   });
           }
         }
       }
@@ -258,18 +292,55 @@ AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
     eig_batches += solver.batches();
   }
 
-  stats.n_grid_updated = grid_updated;
-  stats.n_eig_fail = eig_fail_levels;
-  stats.n_weight_reuse = cache_hits;
-  stats.n_weight_solved = weight_solves;
-  stats.n_eig_batches = eig_batches;
-  if (grid_updated)
-    stats.mean_local_obs = double(local_obs_count) / double(grid_updated);
+  tally.grid_updated = grid_updated;
+  tally.local_obs = local_obs_count;
+  tally.eig_fail = eig_fail_levels;
+  tally.cache_hits = cache_hits;
+  tally.weight_solves = weight_solves;
+  tally.eig_batches = eig_batches;
+  return tally;
+}
+
+AnalysisStats Letkf::analyze(scale::Ensemble& ens, const ObsVector& obs_in,
+                             const ObsOperator& op) const {
+  const std::size_t k = static_cast<std::size_t>(ens.size());
+  AnalysisStats stats;
+  stats.n_obs_in = obs_in.size();
+  if (k < 2 || obs_in.empty()) return stats;
+
+  // ---- H(x) for every (obs, member): hx[n*k + m].
+  const std::size_t n_all = obs_in.size();
+  std::vector<real> hx(n_all * k);
+#pragma omp parallel for
+  for (std::size_t m = 0; m < k; ++m) {
+    const std::vector<real> h =
+        member_hx(ens.member(static_cast<int>(m)), obs_in, op);
+    for (std::size_t n = 0; n < n_all; ++n) hx[n * k + m] = h[n];
+  }
+
+  // ---- QC + obs-space statistics.
+  const PreparedObs prep = prepare(obs_in, hx, k);
+  stats = prep.stats;
+  if (prep.obs.empty()) return stats;
+
+  // ---- Local analyses over the full domain as a single window.
+  EnsembleSlab slab;
+  for (int m = 0; m < ens.size(); ++m) slab.members.push_back(&ens.member(m));
+  const WindowTally t =
+      analyze_window(prep, slab, 0, grid_.nx(), 0, grid_.ny());
+
+  stats.n_grid_updated = t.grid_updated;
+  stats.n_eig_fail = t.eig_fail;
+  stats.n_weight_reuse = t.cache_hits;
+  stats.n_weight_solved = t.weight_solves;
+  stats.n_eig_batches = t.eig_batches;
+  if (t.grid_updated)
+    stats.mean_local_obs = double(t.local_obs) / double(t.grid_updated);
   if (metrics_) {
-    metrics_->count("letkf.eig_batches", eig_batches);
-    metrics_->count("letkf.weight_cache_hit", cache_hits);
-    metrics_->count("letkf.weight_cache_miss", weight_solves);
-    metrics_->count("letkf.eig_fail", eig_fail_levels);
+    metrics_->count("letkf.eig_batches", t.eig_batches);
+    metrics_->count("letkf.weight_cache_hit", t.cache_hits);
+    metrics_->count("letkf.weight_cache_miss", t.weight_solves);
+    metrics_->count("letkf.eig_fail", t.eig_fail);
   }
 
   // Refresh halos after the point-wise updates.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "letkf/adaptive_inflation.hpp"
 #include "letkf/localization.hpp"
@@ -63,13 +64,72 @@ struct AnalysisStats {
   InnovationMoments moments;
 };
 
+/// Observation-space preparation (gross-error QC, mean H(x), perturbations,
+/// Desroziers moments) computed once from the full H(x) table.  The sharded
+/// engine replicates prepare() on every domain rank from identical hx
+/// bytes, which keeps control flow (the empty-obs early return) and the
+/// kept-obs set bitwise consistent across ranks without broadcasting any
+/// derived state.
+struct PreparedObs {
+  ObsVector obs;            ///< post-QC observations
+  std::vector<real> ymean;  ///< mean H(x) per kept obs
+  std::vector<real> yp;     ///< obs-space perturbations, yp[n*k + m]
+  AnalysisStats stats;      ///< n_obs_in / n_obs_qc / innovation / moments
+};
+
+/// A block of ensemble members viewed over one horizontal window: entry m
+/// is member m's state — the full domain, or a tile whose interior origin
+/// sits at global column (x0, y0).  analyze_window() reads/writes member
+/// fields at local (i - x0, j - y0) while localizing against global grid
+/// coordinates.
+struct EnsembleSlab {
+  idx x0 = 0, y0 = 0;
+  std::vector<scale::State*> members;
+};
+
+/// Integer tallies from one window analysis.  All integers on purpose:
+/// integer addition is exact in any order, so summing per-shard tallies
+/// reproduces the serial totals bitwise no matter how the domain is cut.
+struct WindowTally {
+  std::size_t grid_updated = 0;
+  std::size_t local_obs = 0;
+  std::size_t eig_fail = 0;
+  std::size_t cache_hits = 0;
+  std::size_t weight_solves = 0;
+  std::size_t eig_batches = 0;
+};
+
 class Letkf {
  public:
   Letkf(const scale::Grid& grid, LetkfConfig cfg = {});
 
   /// Assimilate `obs` into the ensemble in place.  `op` supplies H.
+  /// Composed from the three stages below over the full domain.
   AnalysisStats analyze(scale::Ensemble& ens, const ObsVector& obs,
                         const ObsOperator& op) const;
+
+  /// H(x) of one member against every offered observation (pre-QC).
+  /// analyze() evaluates this for all members locally; the sharded engine
+  /// computes it member-side, exchanges the raw bytes, and assembles the k
+  /// vectors in member order — reproducing analyze()'s H(x) table bitwise.
+  static std::vector<real> member_hx(const scale::State& member,
+                                     const ObsVector& obs_in,
+                                     const ObsOperator& op);
+
+  /// Stage 2: QC + obs-space statistics from the full H(x) table
+  /// (hx[n*k + m], k ensemble members).  Deterministic function of its
+  /// arguments and the config.
+  PreparedObs prepare(const ObsVector& obs_in, const std::vector<real>& hx,
+                      std::size_t k) const;
+
+  /// Stage 3: local analyses over global columns [i_lo,i_hi) x [j_lo,j_hi).
+  /// Updates the slab members in place (interiors only — the caller owns
+  /// halo refresh).  The per-column weight cache and the canonical
+  /// (distance, index) obs ordering make the result independent of how the
+  /// domain is windowed, so shard boundaries cannot perturb the analysis.
+  WindowTally analyze_window(const PreparedObs& prep,
+                             const EnsembleSlab& slab, idx i_lo, idx i_hi,
+                             idx j_lo, idx j_hi) const;
 
   const LetkfConfig& config() const { return cfg_; }
 

@@ -69,34 +69,67 @@ void Ensemble::perturb(const PerturbationSpec& spec, Rng& rng) {
   }
 }
 
-void Ensemble::advance(real duration) {
+void Ensemble::advance_members(real duration, std::size_t m0,
+                               std::size_t m1, Dynamics& dyn,
+                               Turbulence& turb, Surface& sfc, Radiation& rad,
+                               State* bdy_scratch) {
   const long nsteps =
       static_cast<long>(std::floor(duration / cfg_.dt + 0.5f));
+  // Local clock copies: every member block replays the same step sequence;
+  // commit_advance moves the shared clock once all blocks are done.
+  double t = time_;
+  long sc = step_count_;
   for (long n = 0; n < nsteps; ++n) {
-    const bool full_physics = (step_count_ % cfg_.physics_every) == 0;
+    const bool full_physics = (sc % cfg_.physics_every) == 0;
     const real pdt = cfg_.dt * real(cfg_.physics_every);
-    if (bdy_driver_) {
-      if (!bdy_state_) bdy_state_ = std::make_unique<State>(grid_);
-      bdy_driver_->fill(time_, *bdy_state_);
-    }
-    for (std::size_t m = 0; m < members_.size(); ++m) {
+    if (bdy_driver_ && bdy_scratch) bdy_driver_->fill(t, *bdy_scratch);
+    for (std::size_t m = m0; m < m1; ++m) {
       State& s = members_[m];
-      dyn_.step(s, cfg_.dt);
+      dyn.step(s, cfg_.dt);
       if (cfg_.enable_micro) micro_[m]->step(s, cfg_.dt);
       if (full_physics) {
-        if (cfg_.enable_turb) turb_.step(s, pdt);
+        if (cfg_.enable_turb) turb.step(s, pdt);
         if (cfg_.enable_pbl) pbl_[m]->step(s, pdt);
         if (cfg_.enable_sfc)
-          sfc_.step(s, pdt, cfg_.enable_pbl ? pbl_[m].get() : nullptr,
-                    real(std::fmod(time_, 86400.0)));
-        if (cfg_.enable_rad) rad_.step(s, pdt);
+          sfc.step(s, pdt, cfg_.enable_pbl ? pbl_[m].get() : nullptr,
+                   real(std::fmod(t, 86400.0)));
+        if (cfg_.enable_rad) rad.step(s, pdt);
       }
-      if (bdy_driver_)
-        apply_davies(s, *bdy_state_, bdy_width_, cfg_.dt, bdy_tau_);
+      if (bdy_driver_ && bdy_scratch)
+        apply_davies(s, *bdy_scratch, bdy_width_, cfg_.dt, bdy_tau_);
     }
-    time_ += double(cfg_.dt);
-    ++step_count_;
+    t += double(cfg_.dt);
+    ++sc;
   }
+}
+
+void Ensemble::advance(real duration) {
+  if (bdy_driver_ && !bdy_state_) bdy_state_ = std::make_unique<State>(grid_);
+  advance_members(duration, 0, members_.size(), dyn_, turb_, sfc_, rad_,
+                  bdy_state_.get());
+  commit_advance(duration);
+}
+
+std::unique_ptr<ShardEngines> Ensemble::make_shard_engines() const {
+  auto eng = std::make_unique<ShardEngines>(grid_, ref_, cfg_);
+  if (bdy_driver_) eng->bdy_state = std::make_unique<State>(grid_);
+  return eng;
+}
+
+void Ensemble::advance_block(real duration, int m0, int m1,
+                             ShardEngines& eng) {
+  advance_members(duration, static_cast<std::size_t>(m0),
+                  static_cast<std::size_t>(m1), eng.dyn, eng.turb, eng.sfc,
+                  eng.rad, eng.bdy_state.get());
+}
+
+void Ensemble::commit_advance(real duration) {
+  const long nsteps =
+      static_cast<long>(std::floor(duration / cfg_.dt + 0.5f));
+  // Same accumulation as the per-step loop (repeated adds, not one fused
+  // multiply-add) so the clock stays bitwise on the historical trajectory.
+  for (long n = 0; n < nsteps; ++n) time_ += double(cfg_.dt);
+  step_count_ += nsteps;
 }
 
 State Ensemble::mean() const {

@@ -8,6 +8,7 @@
 // accumulated precipitation — is kept per member.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -35,6 +36,26 @@ struct PerturbationSpec {
   real zmax = 6000.0f;     ///< perturb below this height only
 };
 
+/// One rank's private engine set for the sharded (member-block) advance.
+/// The shared Ensemble engines are scratch-only (no trajectory state), so a
+/// freshly constructed replica steps a member to bitwise-identical state —
+/// that is what lets ranks advance disjoint member blocks concurrently.
+struct ShardEngines {
+  ShardEngines(const Grid& grid, const ReferenceState& ref,
+               const ModelConfig& cfg)
+      : dyn(grid, ref, cfg.dyn), turb(grid, cfg.turb), sfc(grid, cfg.sfc),
+        rad(grid, cfg.rad) {}
+
+  Dynamics dyn;
+  Turbulence turb;
+  Surface sfc;
+  Radiation rad;
+  /// Per-rank boundary scratch (allocated by make_shard_engines iff a
+  /// boundary driver is attached; BoundaryDriver::fill is a deterministic
+  /// function of time, so every rank's copy holds identical bytes).
+  std::unique_ptr<State> bdy_state;
+};
+
 class Ensemble {
  public:
   Ensemble(const Grid& grid, const Sounding& sounding, ModelConfig cfg,
@@ -58,6 +79,24 @@ class Ensemble {
   /// Integrate all members forward by `duration` seconds.
   void advance(real duration);
 
+  /// Sharded advance, used by hpc::ShardedEngine.  Each rank builds its own
+  /// engine replica once, then per cycle advances a disjoint member block
+  /// [m0, m1) — safe concurrently because blocks touch disjoint member and
+  /// microphysics/PBL state and `eng` is rank-private.  advance_block does
+  /// NOT move the ensemble clock; after all blocks finish, exactly one
+  /// caller commits the time/step-count advance:
+  ///
+  ///   auto eng = ens.make_shard_engines();      // once per rank
+  ///   ens.advance_block(dt_total, m0, m1, *eng);  // every rank
+  ///   ens.commit_advance(dt_total);             // once, after a barrier
+  ///
+  /// advance(d) == { advance_block(d, 0, size()); commit_advance(d); } with
+  /// the shared engines, so serial and sharded trajectories are bitwise
+  /// identical.
+  std::unique_ptr<ShardEngines> make_shard_engines() const;
+  void advance_block(real duration, int m0, int m1, ShardEngines& eng);
+  void commit_advance(real duration);
+
   /// Ensemble mean state (all prognostic fields).
   State mean() const;
 
@@ -71,6 +110,12 @@ class Ensemble {
   }
 
  private:
+  /// Shared inner loop of advance() and advance_block(): steps members
+  /// [m0, m1) with the given engines against local copies of the clock.
+  void advance_members(real duration, std::size_t m0, std::size_t m1,
+                       Dynamics& dyn, Turbulence& turb, Surface& sfc,
+                       Radiation& rad, State* bdy_scratch);
+
   Grid grid_;
   ReferenceState ref_;
   ModelConfig cfg_;

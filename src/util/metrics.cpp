@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <ctime>
+#define BDA_HAVE_THREAD_CPUTIME 1
+#endif
+
 #include "util/stats.hpp"
 
 namespace bda::util {
+
+double thread_cpu_seconds() {
+#ifdef BDA_HAVE_THREAD_CPUTIME
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+#endif
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
 
 void Metrics::count(const std::string& name, std::uint64_t n) {
   std::lock_guard<std::mutex> lk(mu_);

@@ -27,6 +27,15 @@
 
 namespace bda::util {
 
+/// CPU time consumed by the *calling thread* in seconds
+/// (CLOCK_THREAD_CPUTIME_ID where available, steady_clock otherwise).
+/// This is what the per-rank shard timers use: on an oversubscribed host
+/// (threads-as-ranks on fewer cores) wall clock charges every rank for
+/// its neighbours' work, while thread CPU time measures only its own —
+/// so max-over-ranks CPU time is the node-exclusive time-to-solution
+/// projection.  See docs/SHARDING.md.
+double thread_cpu_seconds();
+
 /// Summary of one named timer series (all durations in seconds).
 struct TimerStats {
   std::size_t count = 0;

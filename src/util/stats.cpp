@@ -45,8 +45,13 @@ void RunningStats::merge(const RunningStats& o) {
 double percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0.0;
   std::sort(v.begin(), v.end());
+  // Clamp p: out-of-range p (or any p > 0 on a single sample, where
+  // rank rounds to size-1 exactly) must not produce an index past the
+  // last element — casting a negative rank to size_t wraps huge.
+  p = std::clamp(p, 0.0, 100.0);
   const double rank = (p / 100.0) * double(v.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t lo = std::min(static_cast<std::size_t>(rank),
+                                  v.size() - 1);
   const std::size_t hi = std::min(lo + 1, v.size() - 1);
   const double frac = rank - double(lo);
   return v[lo] * (1.0 - frac) + v[hi] * frac;

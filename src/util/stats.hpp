@@ -32,7 +32,8 @@ class RunningStats {
 };
 
 /// Percentile of a sample (linear interpolation between order statistics).
-/// `p` in [0,100].  The input vector is copied and sorted.
+/// `p` is clamped to [0,100]; empty input returns 0, a single sample is
+/// returned unchanged for every p.  The input vector is copied and sorted.
 double percentile(std::vector<double> v, double p);
 
 /// Fraction of samples <= threshold (e.g. fraction of cycles with

@@ -167,10 +167,20 @@ letkf::ObsVector BdaSystem::regrid_observations(
   return obs;
 }
 
+void BdaSystem::enable_sharding(int px, int py) {
+  sharded_ = std::make_unique<hpc::ShardedEngine>(ens_, letkf_, obsop_,
+                                                  grid_,
+                                                  hpc::ShardConfig{px, py});
+  sharded_->set_metrics(metrics_);
+}
+
 void BdaSystem::advance_ensemble() {
   // <1-2>: ensemble background at the observation time.
   util::Metrics::ScopedTimer t(metrics_, "cycle.ensemble");
-  ens_.advance(real(cfg_.cycle_s));
+  if (sharded_)
+    sharded_->advance_ensemble(real(cfg_.cycle_s));
+  else
+    ens_.advance(real(cfg_.cycle_s));
 }
 
 CycleResult BdaSystem::finish_analysis(CycleResult partial,
@@ -178,10 +188,12 @@ CycleResult BdaSystem::finish_analysis(CycleResult partial,
   CycleResult res = std::move(partial);
   res.n_obs = obs.size();
 
-  // <1-1>: LETKF analysis.
+  // <1-1>: LETKF analysis (domain-sharded when sharding is enabled; the
+  // results are bitwise identical either way).
   {
     util::Metrics::ScopedTimer t(metrics_, "cycle.letkf");
-    res.analysis = letkf_.analyze(ens_, obs, obsop_);
+    res.analysis =
+        sharded_ ? sharded_->analyze(obs) : letkf_.analyze(ens_, obs, obsop_);
   }
   if (cfg_.adaptive_inflation) {
     adaptive_infl_.update(res.analysis.moments);

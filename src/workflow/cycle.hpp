@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "hpc/sharded_engine.hpp"
 #include "jitdt/transfer.hpp"
 #include "letkf/letkf.hpp"
 #include "pawr/datafile.hpp"
@@ -138,6 +139,19 @@ class BdaSystem {
   CycleResult finish_analysis(CycleResult partial,
                               const letkf::ObsVector& obs);
 
+  /// Run the cycle sharded over px x py simulated ranks (threads-as-ranks
+  /// over hpc::CommWorld): the <1-2> advance becomes member blocks, the
+  /// <1-1> LETKF becomes domain tiles, and ensemble state moves between the
+  /// two layouts through the in-memory shuffle — no file round-trip.  The
+  /// staged API is unchanged, so PipelinedDriver drives a sharded system
+  /// exactly as a serial one, and the analyses stay bitwise identical to
+  /// serial (the ShardedEngine determinism contract, docs/SHARDING.md).
+  /// Call once, after construction; throws if the grid is not divisible by
+  /// (px, py).
+  void enable_sharding(int px, int py);
+  bool sharded() const { return sharded_ != nullptr; }
+  hpc::ShardedEngine* sharded_engine() { return sharded_.get(); }
+
   /// Attach a metrics sink (may be null): per-stage timers
   /// ("cycle.nature", "cycle.observe", "cycle.jitdt", "cycle.regrid",
   /// "cycle.ensemble", "cycle.letkf", "cycle.total") and counters
@@ -148,6 +162,7 @@ class BdaSystem {
   void set_metrics(util::Metrics* metrics) {
     metrics_ = metrics;
     letkf_.set_metrics(metrics);
+    if (sharded_) sharded_->set_metrics(metrics);
   }
 
   /// Observe the nature run now (without assimilating) — for verification.
@@ -178,6 +193,7 @@ class BdaSystem {
   letkf::ObsOperator obsop_;
   double time_ = 0.0;
   util::Metrics* metrics_ = nullptr;  ///< optional stage-timing sink
+  std::unique_ptr<hpc::ShardedEngine> sharded_;  ///< set by enable_sharding
 
   // One-way nesting chain (only when cfg.use_outer_domain).
   void refresh_outer_boundary();

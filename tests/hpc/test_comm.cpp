@@ -228,5 +228,30 @@ TEST(Comm, GatherStressRepeatedRotatingRoot) {
   });
 }
 
+TEST(Comm, PeakMailboxDepthTracksQueuedSends) {
+  // The all-sends-before-recvs pattern exchange_halo and the sharded
+  // shuffle rely on is only deadlock-free because send() never blocks (the
+  // capacity contract documented in comm.hpp).  The high-water mark makes
+  // the queueing observable: post k sends before any recv and the peak must
+  // reach k.
+  constexpr int kRanks = 2;
+  constexpr int kMsgs = 16;
+  CommWorld world(kRanks);
+  EXPECT_EQ(world.peak_mailbox_depth(), 0u);
+  world.run([](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    for (int t = 0; t < kMsgs; ++t)
+      comm.send(peer, t, {std::uint8_t(t), std::uint8_t(comm.rank())});
+    comm.barrier();  // both mailboxes now hold all kMsgs messages
+    for (int t = 0; t < kMsgs; ++t) {
+      const Buffer got = comm.recv(peer, t);
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_EQ(got[0], std::uint8_t(t));
+      EXPECT_EQ(got[1], std::uint8_t(peer));
+    }
+  });
+  EXPECT_GE(world.peak_mailbox_depth(), std::size_t(kMsgs));
+}
+
 }  // namespace
 }  // namespace bda::hpc

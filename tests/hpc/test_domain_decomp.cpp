@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "hpc/domain_decomp.hpp"
 
 namespace bda::hpc {
@@ -112,6 +114,116 @@ TEST(Exchange, DistinctFieldsViaTagBase) {
     EXPECT_EQ(ta(-1, 0, 0), ra((layout.x0 + nx - 1) % nx, layout.y0, 0));
     EXPECT_EQ(tb(-1, 0, 0), rb((layout.x0 + nx - 1) % nx, layout.y0, 0));
   });
+}
+
+// --- exchange_halo argument validation --------------------------------------
+// Before validation the pack start was nx - h; with a halo wider than the
+// tile that is negative and the pack loop read out of the allocation.
+
+TEST(Exchange, RejectsHaloWiderThanTile) {
+  // 2x1: each tile is 2 cells wide in x but carries a 3-wide halo.
+  CommWorld world(2);
+  world.run([](Comm& comm) {
+    TileLayout layout(comm.rank(), 2, 1, 4, 4);
+    RField3D tile(layout.nx, layout.ny, 2, 3);
+    EXPECT_THROW(exchange_halo(comm, layout, tile), std::invalid_argument);
+  });
+}
+
+TEST(Exchange, RejectsHaloWiderThanTileSelfNeighbor) {
+  // px*py == 1: every neighbour is the rank itself, so the overflow needed
+  // no communication at all to be reachable — the pack range is the only
+  // guard.
+  CommWorld world(1);
+  world.run([](Comm& comm) {
+    TileLayout layout(0, 1, 1, 2, 2);
+    RField3D tile(2, 2, 2, 3);  // halo 3 > nx = ny = 2
+    EXPECT_THROW(exchange_halo(comm, layout, tile), std::invalid_argument);
+  });
+}
+
+TEST(Exchange, RejectsTileExtentLayoutMismatch) {
+  CommWorld world(1);
+  world.run([](Comm& comm) {
+    TileLayout layout(0, 1, 1, 8, 8);
+    RField3D tile(4, 8, 2, 2);  // nx disagrees with the layout's tile
+    EXPECT_THROW(exchange_halo(comm, layout, tile), std::invalid_argument);
+  });
+}
+
+TEST(Exchange, HaloAsWideAsTileIsTheValidBoundary) {
+  // h == nx is the edge of the valid range: the pack start lands exactly at
+  // 0 and the exchange must still reproduce the serial periodic fill.
+  const idx n = 4, nz = 2;
+  RField3D reference(n, n, nz, n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j)
+      for (idx k = 0; k < nz; ++k)
+        reference(i, j, k) = real(i * 100 + j * 10 + k);
+  RField3D tile = reference;
+  reference.fill_halo_periodic();
+
+  CommWorld world(1);
+  world.run([&](Comm& comm) {
+    TileLayout layout(0, 1, 1, n, n);
+    exchange_halo(comm, layout, tile);
+  });
+  for (idx i = -n; i < 2 * n; ++i)
+    for (idx j = -n; j < 2 * n; ++j)
+      for (idx k = 0; k < nz; ++k)
+        ASSERT_EQ(tile(i, j, k), reference(i, j, k))
+            << "(" << i << "," << j << "," << k << ")";
+}
+
+// --- sustained concurrent exchange (satellite of the capacity contract) -----
+// Eight ranks exchange two fields with distinct tag_base for many
+// iterations.  Values evolve per iteration, so a message matched to the
+// wrong field, the wrong iteration, or the wrong neighbour shows up as a
+// value mismatch; under TSan this is also the race gate for the
+// mailbox-depth accounting.  The sends of iteration t+1 overlap the recvs
+// of iteration t across ranks — exactly the queueing the unbounded-mailbox
+// contract (comm.hpp) promises to absorb.
+TEST(Exchange, StressTwoFieldsEightRanksManyIterations) {
+  constexpr int px = 4, py = 2;
+  const idx nx = 8, ny = 8, nz = 2;
+  constexpr int kIters = 100;
+  constexpr idx h = 2;
+
+  CommWorld world(px * py);
+  world.run([&](Comm& comm) {
+    TileLayout layout(comm.rank(), px, py, nx, ny);
+    RField3D ta(layout.nx, layout.ny, nz, h);
+    RField3D tb(layout.nx, layout.ny, nz, h);
+    auto value = [&](int iter, idx gi, idx gj, idx k) {
+      return real(iter * 100000 + gi * 1000 + gj * 10 + k);
+    };
+    for (int iter = 0; iter < kIters; ++iter) {
+      for (idx i = 0; i < layout.nx; ++i)
+        for (idx j = 0; j < layout.ny; ++j)
+          for (idx k = 0; k < nz; ++k) {
+            const real v = value(iter, layout.x0 + i, layout.y0 + j, k);
+            ta(i, j, k) = v;
+            tb(i, j, k) = -v;
+          }
+      exchange_halo(comm, layout, ta, /*tag_base=*/0);
+      exchange_halo(comm, layout, tb, /*tag_base=*/1);
+      for (idx i = -h; i < layout.nx + h; ++i)
+        for (idx j = -h; j < layout.ny + h; ++j)
+          for (idx k = 0; k < nz; ++k) {
+            idx gi = layout.x0 + i, gj = layout.y0 + j;
+            gi = (gi % nx + nx) % nx;
+            gj = (gj % ny + ny) % ny;
+            const real v = value(iter, gi, gj, k);
+            ASSERT_EQ(ta(i, j, k), v)
+                << "field a, iter " << iter << ", rank " << comm.rank();
+            ASSERT_EQ(tb(i, j, k), -v)
+                << "field b, iter " << iter << ", rank " << comm.rank();
+          }
+    }
+  });
+  // The exchange posts all four sends before the first recv, so the queues
+  // must actually have been exercised.
+  EXPECT_GT(world.peak_mailbox_depth(), 0u);
 }
 
 }  // namespace

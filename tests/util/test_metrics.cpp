@@ -94,6 +94,36 @@ TEST(Metrics, ResetClearsEverything) {
   EXPECT_TRUE(m.timer_names().empty());
 }
 
+TEST(Metrics, TimerStatsDefinedAtSmallSampleCounts) {
+  // The p97/p99 columns of every bench table must be well defined from the
+  // very first cycle — empty and single-sample series are the regression
+  // cases for the percentile index fix.
+  Metrics m;
+  const TimerStats empty = m.timer_stats("never");
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p97_s, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.percentile("never", 99.0), 0.0);
+
+  m.observe("one", 2.5);
+  const TimerStats one = m.timer_stats("one");
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.min_s, 2.5);
+  EXPECT_DOUBLE_EQ(one.max_s, 2.5);
+  EXPECT_DOUBLE_EQ(one.p50_s, 2.5);
+  EXPECT_DOUBLE_EQ(one.p97_s, 2.5);
+  EXPECT_DOUBLE_EQ(one.p99_s, 2.5);
+  EXPECT_DOUBLE_EQ(m.percentile("one", 99.0), 2.5);
+
+  m.observe("two", 1.0);
+  m.observe("two", 3.0);
+  const TimerStats two = m.timer_stats("two");
+  EXPECT_DOUBLE_EQ(two.p50_s, 2.0);
+  EXPECT_DOUBLE_EQ(two.p99_s, 1.0 + 0.99 * 2.0);
+  EXPECT_LE(two.p99_s, two.max_s);
+}
+
 TEST(Metrics, ConcurrentRecordingIsExact) {
   // One shared sink hammered from several threads — the cycle thread, the
   // regrid overlap task and the forecast workers all write concurrently in

@@ -76,6 +76,21 @@ TEST(Percentile, EmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
 }
 
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  // n = 1 used to be the sharp edge: any p > 0 computed an interpolation
+  // index past the only element.
+  const std::vector<double> one = {7.5};
+  for (double p : {0.0, 50.0, 97.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(percentile(one, p), 7.5) << "p = " << p;
+}
+
+TEST(Percentile, OutOfRangePIsClamped) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 150.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, -25.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({2.0}, 1000.0), 2.0);
+}
+
 TEST(FractionBelow, CountsInclusive) {
   std::vector<double> v = {1, 2, 3, 4};
   EXPECT_DOUBLE_EQ(fraction_below(v, 2.0), 0.5);
