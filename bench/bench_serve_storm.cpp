@@ -1,0 +1,288 @@
+// Request storm against the serving tier (the paper's Sec. 1 load: every
+// 30-second refresh fanned out to millions of smartphone users).
+//
+// Drives serve::Publisher -> ProductCache -> TileServer end to end:
+// a publisher thread streams cycles on a fixed cadence while client
+// threads replay a Zipf-hot tile workload (a few tiles — downtown Tokyo —
+// take most of the traffic), with a thundering-herd burst fired the
+// instant a client observes a new cycle, plus a trickle of pinned-cycle
+// readers that deliberately reach outside the retention window.
+//
+// The run GATES (nonzero exit) on the serving SLOs:
+//   1. p99 request latency under the bar (default 2 ms, argv[3]);
+//   2. zero hits served staler than one retention window, and zero
+//      latest-cycle hits with nonzero staleness.
+// The full metrics dump lands in BENCH_serve_storm.json (argv[1]) for the
+// CI artifact trail; argv[2] overrides the request count.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/publisher.hpp"
+#include "serve/tile_server.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace bda;
+
+// Product geometry: 64x64 columns, 16 levels -> 8x8 tiles per product,
+// 128 tile keys total.
+constexpr idx kNx = 64, kNy = 64, kNz = 16;
+
+serve::ProductFrame make_frame(std::uint64_t cycle) {
+  serve::ProductFrame f;
+  f.volume = Field3D<float>(kNx, kNy, kNz, 0);
+  f.volume.fill(-20.0f);
+  // A rain band sweeping across the domain: most tiles are unchanged
+  // between consecutive cycles (deltas compress), a moving strip is not.
+  const idx band = idx(cycle) % kNx;
+  for (idx di = 0; di < 4; ++di) {
+    const idx i = (band + di) % kNx;
+    for (idx j = 8; j < kNy - 8; ++j)
+      for (idx k = 0; k < kNz / 2; ++k)
+        f.volume(i, j, k) = 35.0f + float((i + j + k) % 20);
+  }
+  f.map_view = Field3D<float>(kNx, kNy, 1, 0);
+  for (idx i = 0; i < kNx; ++i)
+    for (idx j = 0; j < kNy; ++j) {
+      float m = f.volume(i, j, 0);
+      for (idx k = 1; k < kNz; ++k) m = std::max(m, f.volume(i, j, k));
+      f.map_view(i, j, 0) = m;
+    }
+  return f;
+}
+
+struct ClientStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t herd_bursts = 0;
+  std::uint64_t stale_window_violations = 0;  // hit staler than retention
+  std::uint64_t latest_staleness_violations = 0;  // latest request, stale
+  std::uint64_t decode_failures = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_serve_storm.json";
+  const std::uint64_t total_requests =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000'000ull;
+  const double p99_slo_s = argc > 3 ? std::strtod(argv[3], nullptr) : 2e-3;
+
+  bench::print_header(
+      "Serving-tier request storm (Zipf-hot tiles, thundering herd)",
+      "Sec. 1 (30-s refresh to millions of smartphone users)");
+
+  constexpr std::size_t kRetention = 4;
+  constexpr std::uint64_t kCycles = 150;
+  constexpr auto kCyclePeriod = std::chrono::milliseconds(2);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned n_clients = std::min(8u, hw > 2 ? hw - 1 : 2u);
+
+  util::Metrics metrics;
+  serve::ProductCache cache(kRetention);
+  serve::Publisher publisher(&cache, {}, &metrics);
+  serve::TileServer server(&cache, &metrics, /*sample_every=*/64);
+
+  // Zipf CDF over all 128 tile keys (s = 1.1): rank 1 is the hot downtown
+  // tile.  Deterministic key order (kind, tx, ty).
+  std::vector<serve::TileKey> keys;
+  for (int kind = 0; kind < 2; ++kind)
+    for (idx tx = 0; tx < kNx / 8; ++tx)
+      for (idx ty = 0; ty < kNy / 8; ++ty)
+        keys.push_back({kind == 0 ? serve::ProductKind::kMapView
+                                  : serve::ProductKind::kVolume3D,
+                        tx, ty});
+  std::vector<double> cdf(keys.size());
+  {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < keys.size(); ++r) {
+      sum += 1.0 / std::pow(double(r + 1), 1.1);
+      cdf[r] = sum;
+    }
+    for (double& c : cdf) c /= sum;
+  }
+
+  // Publisher thread: one cycle every kCyclePeriod, like the 30-s cadence.
+  // Each cycle is drained before the next is submitted — the operational
+  // system ships every refresh, it never skips one — which keeps cache
+  // cycle numbering dense so the staleness gate below is exact.
+  std::atomic<bool> publishing{true};
+  std::atomic<std::uint64_t> drain_failures{0};
+  std::thread cycle_driver([&] {
+    for (std::uint64_t c = 0; c < kCycles; ++c) {
+      publisher.submit(c, [c] { return make_frame(c); });
+      if (!publisher.drain())
+        drain_failures.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(kCyclePeriod);
+    }
+    publishing.store(false, std::memory_order_release);
+  });
+
+  // Client threads: Zipf-hot requests, herd bursts on cycle change, and a
+  // ~5% trickle of pinned-cycle readers (some deliberately too old).
+  Rng root(20260809);
+  std::vector<Rng> rngs;
+  for (unsigned t = 0; t < n_clients; ++t) rngs.push_back(root.split());
+  const std::uint64_t quota = total_requests / n_clients;
+  std::vector<ClientStats> stats(n_clients);
+  std::vector<std::thread> clients;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned t = 0; t < n_clients; ++t)
+    clients.emplace_back([&, t] {
+      Rng rng = rngs[t];
+      ClientStats& st = stats[t];
+      std::uint64_t last_seen = 0;
+      auto pick_key = [&] {
+        const double u = rng.uniform();
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        return keys[std::size_t(it - cdf.begin())];
+      };
+      auto issue = [&](std::uint64_t cycle) {
+        const auto resp = server.get({pick_key(), cycle});
+        ++st.requests;
+        if (resp.hit()) {
+          ++st.hits;
+          if (resp.staleness_cycles() >= kRetention)
+            ++st.stale_window_violations;
+          if (cycle == serve::kLatestCycle && resp.staleness_cycles() != 0)
+            ++st.latest_staleness_violations;
+          // Spot-verify payload integrity on a sample of keyframe hits.
+          if (st.hits % 1024 == 0 && resp.tile->is_keyframe()) {
+            try {
+              serve::decode_tile(*resp.tile, nullptr, serve::kNoBaseCycle);
+            } catch (const std::exception&) {
+              ++st.decode_failures;
+            }
+          }
+        }
+        return resp;
+      };
+      // Keep hammering until the quota is met AND publication finished, so
+      // the storm covers every cycle boundary.
+      while (st.requests < quota ||
+             publishing.load(std::memory_order_acquire)) {
+        if (rng.uniform() < 0.05) {
+          // Pinned-cycle reader: lag 1..2*retention behind the head — the
+          // deeper half must come back kStaleCycle, never silently old.
+          const auto head = server.get({pick_key(), serve::kLatestCycle});
+          ++st.requests;
+          if (head.hit()) ++st.hits;
+          const std::uint64_t lag = 1 + rng.uniform_int(2 * kRetention);
+          if (head.latest_cycle >= lag)
+            issue(head.latest_cycle - lag);
+          continue;
+        }
+        const auto resp = issue(serve::kLatestCycle);
+        if (resp.latest_cycle != last_seen) {
+          // Thundering herd: a fresh cycle just published — burst like
+          // every phone refreshing at once.
+          last_seen = resp.latest_cycle;
+          ++st.herd_bursts;
+          for (int b = 0; b < 32; ++b) issue(serve::kLatestCycle);
+        }
+      }
+    });
+
+  for (auto& c : clients) c.join();
+  cycle_driver.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  server.flush_metrics();
+
+  ClientStats sum;
+  for (const auto& st : stats) {
+    sum.requests += st.requests;
+    sum.hits += st.hits;
+    sum.herd_bursts += st.herd_bursts;
+    sum.stale_window_violations += st.stale_window_violations;
+    sum.latest_staleness_violations += st.latest_staleness_violations;
+    sum.decode_failures += st.decode_failures;
+  }
+
+  const auto lat = metrics.timer_stats("serve.request");
+  const double keyframe_mb =
+      metrics.total("serve.keyframe_bytes") / (1024.0 * 1024.0);
+  const double delta_mb =
+      metrics.total("serve.delta_bytes") / (1024.0 * 1024.0);
+
+  std::printf("  clients x quota        : %u x %llu\n", n_clients,
+              static_cast<unsigned long long>(quota));
+  std::printf("  requests served        : %llu (%.2f Mreq/s over %.2f s)\n",
+              static_cast<unsigned long long>(sum.requests),
+              sum.requests / wall / 1e6, wall);
+  std::printf("  hit rate               : %.2f%%  (herd bursts: %llu)\n",
+              100.0 * double(sum.hits) / double(sum.requests),
+              static_cast<unsigned long long>(sum.herd_bursts));
+  std::printf("  latency p50 / p99 / max: %.1f / %.1f / %.1f us (sampled "
+              "every 64th)\n",
+              lat.p50_s * 1e6, lat.p99_s * 1e6, lat.max_s * 1e6);
+  std::printf("  cycles published       : %llu / %llu (superseded %llu, "
+              "restarts %d)\n",
+              static_cast<unsigned long long>(publisher.published()),
+              static_cast<unsigned long long>(kCycles),
+              static_cast<unsigned long long>(publisher.superseded()),
+              publisher.restarts());
+  std::printf("  bytes shipped          : %.2f MiB keyframes + %.2f MiB "
+              "deltas (delta share %.1f%%)\n",
+              keyframe_mb, delta_mb,
+              100.0 * delta_mb / std::max(keyframe_mb + delta_mb, 1e-9));
+
+  bool ok = true;
+  if (lat.p99_s > p99_slo_s) {
+    std::printf("  GATE FAIL: p99 latency %.1f us > SLO %.1f us\n",
+                lat.p99_s * 1e6, p99_slo_s * 1e6);
+    ok = false;
+  }
+  if (sum.stale_window_violations != 0 ||
+      sum.latest_staleness_violations != 0) {
+    std::printf("  GATE FAIL: staleness violations (window %llu, latest "
+                "%llu)\n",
+                static_cast<unsigned long long>(sum.stale_window_violations),
+                static_cast<unsigned long long>(
+                    sum.latest_staleness_violations));
+    ok = false;
+  }
+  if (sum.decode_failures != 0) {
+    std::printf("  GATE FAIL: %llu sampled tiles failed to decode\n",
+                static_cast<unsigned long long>(sum.decode_failures));
+    ok = false;
+  }
+  if (publisher.published() != kCycles ||
+      drain_failures.load(std::memory_order_relaxed) != 0) {
+    std::printf("  GATE FAIL: only %llu/%llu cycles published (%llu drain "
+                "timeouts)\n",
+                static_cast<unsigned long long>(publisher.published()),
+                static_cast<unsigned long long>(kCycles),
+                static_cast<unsigned long long>(
+                    drain_failures.load(std::memory_order_relaxed)));
+    ok = false;
+  }
+  if (ok)
+    std::printf("  gates: p99 %.1f us <= %.1f us, 0 staleness violations, "
+                "0 decode failures -> PASS\n",
+                lat.p99_s * 1e6, p99_slo_s * 1e6);
+
+  metrics.count("serve.storm.requests", sum.requests);
+  metrics.count("serve.storm.herd_bursts", sum.herd_bursts);
+  metrics.count("serve.storm.staleness_violations",
+                sum.stale_window_violations +
+                    sum.latest_staleness_violations);
+  std::ofstream json(json_path);
+  json << metrics.to_json() << "\n";
+  std::printf("  metrics JSON -> %s\n", json_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -77,7 +77,10 @@ VolumeScan decode_scan(const std::vector<std::uint8_t>& buf) {
 }
 
 void write_scan(const std::string& path, const VolumeScan& vs) {
-  io::write_file(path, encode_scan(vs), "PWR1");
+  // Atomic rename: the radar server publishes scans via rename in
+  // production (jitdt/watcher.hpp), and the JIT-DT watcher's stability
+  // check assumes files never shrink once visible.
+  io::write_file_atomic(path, encode_scan(vs), "PWR1");
 }
 
 VolumeScan read_scan(const std::string& path) {

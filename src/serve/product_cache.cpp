@@ -1,0 +1,36 @@
+#include "serve/product_cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace bda::serve {
+
+bool ProductCache::publish(std::shared_ptr<const CycleProducts> p) {
+  if (!p) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!epoch_->cycles.empty() && p->cycle <= epoch_->latest_cycle()) {
+    ++rejected_stale_;
+    log_warn("serve: rejected stale publish of cycle ", p->cycle,
+             " (cache head is cycle ", epoch_->latest_cycle(), ")");
+    return false;
+  }
+  auto next = std::make_shared<Epoch>();
+  next->seq = epoch_->seq + 1;
+  next->cycles = epoch_->cycles;  // copies pointers, not tiles
+  next->cycles.emplace(p->cycle, std::move(p));
+  while (next->cycles.size() > retention_)
+    next->cycles.erase(next->cycles.begin());
+  epoch_ = std::move(next);
+  return true;
+}
+
+std::shared_ptr<const ProductCache::Epoch> ProductCache::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+std::uint64_t ProductCache::rejected_stale() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_stale_;
+}
+
+}  // namespace bda::serve

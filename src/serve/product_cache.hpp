@@ -1,0 +1,97 @@
+// In-memory, cycle-keyed, read-mostly nowcast product cache.
+//
+// The serving tier's hot path is a tile lookup under a request storm that
+// peaks right when a new cycle publishes (every client wants the fresh
+// frame at once).  The cache therefore never locks readers against the
+// publisher: all published state lives in an immutable `Epoch` snapshot
+// held by shared_ptr, readers copy that pointer under a briefly held mutex
+// and then read entirely lock-free, and publication builds a *new* epoch
+// aside (copying the per-cycle pointers, not the tiles) and swaps it in —
+// the atomic-epoch-swap idiom.  Old cycles are retired by the swap itself:
+// an epoch holds at most `retention_cycles` consecutive newest cycles, and
+// an in-flight reader of a retired cycle keeps it alive through its own
+// snapshot until it drops the pointer.
+//
+// Publication is strictly monotonic in cycle number: a publish whose cycle
+// is not newer than the current latest is rejected (counted, logged), which
+// is what makes the watchdog-restart path safe — a wedged publisher that
+// finally finishes after its replacement has moved on cannot roll the
+// cache backwards (publisher.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "serve/tile.hpp"
+#include "util/annotations.hpp"
+
+namespace bda::serve {
+
+/// Everything published for one cycle.  Immutable after publish.
+struct CycleProducts {
+  std::uint64_t cycle = 0;
+  std::map<TileKey, EncodedTile> tiles;  ///< ordered: deterministic walks
+  std::size_t keyframe_tiles = 0;
+  std::size_t delta_tiles = 0;
+  std::size_t keyframe_bytes = 0;  ///< encoded bytes shipped as keyframes
+  std::size_t delta_bytes = 0;     ///< encoded bytes shipped as deltas
+
+  const EncodedTile* find(const TileKey& key) const {
+    const auto it = tiles.find(key);
+    return it == tiles.end() ? nullptr : &it->second;
+  }
+};
+
+class ProductCache {
+ public:
+  /// Immutable view of the published state at one instant.
+  struct Epoch {
+    std::uint64_t seq = 0;  ///< publication sequence number (0 = empty)
+    /// Newest `retention` cycles, keyed by cycle number (ordered so the
+    /// retention window is the map's tail).
+    std::map<std::uint64_t, std::shared_ptr<const CycleProducts>> cycles;
+
+    bool empty() const { return cycles.empty(); }
+    std::uint64_t latest_cycle() const {
+      return cycles.empty() ? 0 : cycles.rbegin()->first;
+    }
+    const CycleProducts* latest() const {
+      return cycles.empty() ? nullptr : cycles.rbegin()->second.get();
+    }
+    const CycleProducts* find_cycle(std::uint64_t cycle) const {
+      const auto it = cycles.find(cycle);
+      return it == cycles.end() ? nullptr : it->second.get();
+    }
+  };
+
+  explicit ProductCache(std::size_t retention_cycles = 4)
+      : retention_(retention_cycles == 0 ? 1 : retention_cycles),
+        epoch_(std::make_shared<const Epoch>()) {}
+
+  /// Publish one cycle's products; atomically swaps in a new epoch whose
+  /// window is the newest `retention_cycles` cycles.  Returns false (and
+  /// changes nothing) when `p->cycle` is not strictly newer than the
+  /// current latest — the stale-publisher rejection contract.
+  [[nodiscard]] bool publish(std::shared_ptr<const CycleProducts> p);
+
+  /// Current epoch (never null; an empty cache returns an empty epoch).
+  /// The snapshot stays valid — and its cycles stay alive — for as long as
+  /// the caller holds it, regardless of concurrent publication.
+  std::shared_ptr<const Epoch> snapshot() const;
+
+  std::size_t retention_cycles() const { return retention_; }
+
+  /// Publishes rejected for being older than the cache head.
+  std::uint64_t rejected_stale() const;
+
+ private:
+  const std::size_t retention_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const Epoch> epoch_ BDA_GUARDED_BY(mu_);
+  std::uint64_t rejected_stale_ BDA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace bda::serve

@@ -1,0 +1,260 @@
+#include "serve/publisher.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace bda::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+}  // namespace
+
+Publisher::Publisher(ProductCache* cache, PublisherConfig cfg,
+                     util::Metrics* metrics)
+    : cache_(cache), cfg_(std::move(cfg)), metrics_(metrics) {
+  if (cfg_.keyframe_every == 0 ||
+      cfg_.keyframe_every > cache_->retention_cycles())
+    cfg_.keyframe_every = cache_->retention_cycles();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    workers_.emplace_back([this] { worker(0); });
+  }
+  watchdog_thread_ = std::thread([this] { watchdog(); });
+}
+
+Publisher::~Publisher() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  watchdog_thread_.join();
+  {
+    // The watchdog is gone, so no new workers can appear; take ownership
+    // of the pool and join outside the lock (a wedged worker may still be
+    // finishing its abandoned publication).
+    std::lock_guard<std::mutex> lk(mu_);
+    workers = std::move(workers_);
+  }
+  for (auto& t : workers) t.join();
+}
+
+void Publisher::submit(std::uint64_t cycle, FrameSource frame) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return;
+    if (pending_) {
+      ++superseded_;
+      if (metrics_) metrics_->count("serve.publish.superseded");
+    }
+    pending_ = std::make_unique<Job>();
+    pending_->cycle = cycle;
+    pending_->frame = std::move(frame);
+    ++submitted_;
+    if (metrics_) metrics_->count("serve.publish.submitted");
+  }
+  work_cv_.notify_all();
+}
+
+bool Publisher::drain(double timeout_s) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return idle_cv_.wait_for(lk, std::chrono::duration<double>(timeout_s),
+                           [&] { return pending_ == nullptr && !busy_; });
+}
+
+std::shared_ptr<const CycleProducts> Publisher::encode_frame(
+    std::uint64_t cycle, const ProductFrame& frame,
+    std::optional<DeltaBase>& base, std::size_t& since_keyframe) const {
+  auto products = std::make_shared<CycleProducts>();
+  products->cycle = cycle;
+
+  const bool force_key =
+      !base.has_value() || since_keyframe + 1 >= cfg_.keyframe_every;
+
+  DeltaBase next;
+  next.cycle = cycle;
+  next.map_view = cut_tiles(frame.map_view, cfg_.tiles);
+  next.volume = cut_tiles(frame.volume, cfg_.tiles);
+
+  const struct {
+    ProductKind kind;
+    const Field3D<float>* field;
+    const std::vector<std::vector<float>>* raw;
+    const std::vector<std::vector<float>>* base_raw;
+  } planes[2] = {
+      {ProductKind::kMapView, &frame.map_view, &next.map_view,
+       base ? &base->map_view : nullptr},
+      {ProductKind::kVolume3D, &frame.volume, &next.volume,
+       base ? &base->volume : nullptr},
+  };
+
+  for (const auto& plane : planes) {
+    const Field3D<float>& f = *plane.field;
+    const idx tiles_x = tile_count(f.nx(), cfg_.tiles.tile_nx);
+    const idx tiles_y = tile_count(f.ny(), cfg_.tiles.tile_ny);
+    std::size_t flat = 0;
+    for (idx tx = 0; tx < tiles_x; ++tx)
+      for (idx ty = 0; ty < tiles_y; ++ty, ++flat) {
+        const idx ni = std::min(cfg_.tiles.tile_nx, f.nx() - tx *
+                                cfg_.tiles.tile_nx);
+        const idx nj = std::min(cfg_.tiles.tile_ny, f.ny() - ty *
+                                cfg_.tiles.tile_ny);
+        const std::vector<float>* tile_base = nullptr;
+        if (!force_key && plane.base_raw != nullptr &&
+            flat < plane.base_raw->size())
+          tile_base = &(*plane.base_raw)[flat];
+        const TileKey key{plane.kind, tx, ty};
+        EncodedTile t = encode_tile(key, cycle, ni, nj, f.nz(),
+                                    (*plane.raw)[flat], tile_base,
+                                    base ? std::int64_t(base->cycle)
+                                         : kNoBaseCycle,
+                                    force_key);
+        if (t.is_keyframe()) {
+          ++products->keyframe_tiles;
+          products->keyframe_bytes += t.bytes.size();
+        } else {
+          ++products->delta_tiles;
+          products->delta_bytes += t.bytes.size();
+        }
+        products->tiles.emplace(key, std::move(t));
+      }
+  }
+
+  since_keyframe = force_key ? 0 : since_keyframe + 1;
+  base = std::move(next);
+  return products;
+}
+
+void Publisher::worker(std::uint64_t gen) {
+  // Delta-encoding state of THIS worker generation only: a replacement
+  // worker starts fresh, so its first publication is all keyframes.
+  std::optional<DeltaBase> base;
+  std::size_t since_keyframe = 0;
+
+  for (;;) {
+    std::unique_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return shutdown_ || generation_ != gen || pending_ != nullptr;
+      });
+      if (generation_ != gen) return;  // abandoned while idle
+      if (pending_ == nullptr) return;  // shutdown, nothing queued
+      job = std::move(pending_);
+      busy_ = true;
+      busy_since_ = Clock::now();
+    }
+
+    std::shared_ptr<const CycleProducts> products;
+    util::Metrics::ScopedTimer timer(metrics_, "serve.publish");
+    try {
+      const ProductFrame frame = job->frame();
+      products = encode_frame(job->cycle, frame, base, since_keyframe);
+      if (cfg_.publish_hook) cfg_.publish_hook(job->cycle);
+    } catch (const std::exception& e) {
+      log_error("serve: publish of cycle ", job->cycle, " failed: ",
+                e.what());
+      if (metrics_) metrics_->count("serve.publish.error");
+      base.reset();  // the delta chain is broken; restart from a keyframe
+      products = nullptr;
+    }
+    timer.stop();
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (generation_ != gen) {
+        // The watchdog abandoned this publication mid-flight; a newer
+        // generation owns the cache now.  Discard — the monotonic-cycle
+        // check in ProductCache::publish would reject a late commit
+        // anyway, but we never even offer it.
+        ++stale_discards_;
+        if (metrics_) metrics_->count("serve.publish.stale_discard");
+        return;
+      }
+      if (products != nullptr) {
+        if (cache_->publish(products)) {
+          ++published_;
+          if (metrics_) {
+            metrics_->count("serve.publish.count");
+            metrics_->count("serve.tiles.keyframe",
+                            products->keyframe_tiles);
+            metrics_->count("serve.tiles.delta", products->delta_tiles);
+            metrics_->observe("serve.keyframe_bytes",
+                              double(products->keyframe_bytes));
+            metrics_->observe("serve.delta_bytes",
+                              double(products->delta_bytes));
+          }
+        } else {
+          // Rejected as stale (e.g. a replacement worker already published
+          // a newer cycle before an old submission drained).  Our delta
+          // base no longer matches the cache head — drop it.
+          base.reset();
+          since_keyframe = 0;
+          if (metrics_) metrics_->count("serve.publish.rejected");
+        }
+      }
+      busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void Publisher::watchdog() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait_for(lk, std::chrono::duration<double>(cfg_.watchdog_poll_s),
+                      [&] { return shutdown_; });
+    if (shutdown_) return;
+    if (!busy_) continue;
+    const double stalled_s = seconds_since(busy_since_, Clock::now());
+    if (stalled_s < cfg_.stall_timeout_s) continue;
+    if (restarts_ >= cfg_.max_restarts) {
+      // Budget exhausted: leave the wedged worker alone (the paper's
+      // fail-safe gives up the component, not the cycle — submissions
+      // keep superseding harmlessly and the cache serves the last good
+      // epoch).
+      continue;
+    }
+    ++restarts_;
+    ++generation_;
+    busy_ = false;  // ownership of the busy flag passes to the new worker
+    const std::uint64_t gen = generation_;
+    log_warn("serve: publisher stalled ", stalled_s,
+             " s (timeout ", cfg_.stall_timeout_s,
+             " s) — abandoning worker, restart ", restarts_, "/",
+             cfg_.max_restarts);
+    if (metrics_) metrics_->count("serve.publish.restarts");
+    workers_.emplace_back([this, gen] { worker(gen); });
+    idle_cv_.notify_all();
+  }
+}
+
+std::uint64_t Publisher::submitted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return submitted_;
+}
+std::uint64_t Publisher::superseded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return superseded_;
+}
+std::uint64_t Publisher::published() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return published_;
+}
+int Publisher::restarts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return restarts_;
+}
+std::uint64_t Publisher::stale_discards() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stale_discards_;
+}
+
+}  // namespace bda::serve

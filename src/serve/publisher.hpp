@@ -1,0 +1,146 @@
+// Cycle-product publisher: the bridge from the 30-s cycle to the cache.
+//
+// Publication must never sit on the cycle's critical path: the paper's
+// fail-safe contract for every off-path component (JIT-DT, Sec. 5) is
+// "monitor, and restart automatically when necessary".  The publisher
+// reproduces that idiom for the serving tier:
+//
+//   submit()   — called by the cycle thread (PipelinedDriver), O(1) + one
+//                state snapshot; never blocks on the publish worker.  A
+//                newer cycle supersedes a still-queued older one (a fresher
+//                analysis makes the stale product worthless — the same
+//                policy as the rotating-group forecast admission).
+//   worker     — background thread: builds the ProductFrame, cuts and
+//                delta-encodes the tiles, publishes into the ProductCache
+//                (atomic epoch swap).
+//   watchdog   — background thread: when the worker makes no progress for
+//                `stall_timeout_s` (a wedged frame builder, a hung publish
+//                hook), it *abandons* that worker — bumps the generation,
+//                spawns a replacement, and lets the wedged thread discover
+//                on completion that its result is stale and must be
+//                discarded.  The cache's monotonic-cycle rejection backs
+//                this up: even a discarded-generation race cannot roll the
+//                cache backwards.  Restarts are budgeted (max_restarts),
+//                counted, and logged, exactly like JIT-DT's.
+//
+// Delta-encoding state is per-worker-generation: a replacement worker has
+// no base frame, so its first publication is all keyframes — the fallback
+// that keeps the client-visible chain decodable across restarts.
+//
+// Determinism: the publisher only ever *reads* snapshots handed to
+// submit(); it draws no randomness and never touches model or analysis
+// state, so enabling it is bitwise-transparent to the cycle
+// (tests/workflow/test_pipeline_serve.cpp pins this).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/product_cache.hpp"
+#include "serve/tile.hpp"
+#include "util/annotations.hpp"
+#include "util/metrics.hpp"
+
+namespace bda::serve {
+
+struct PublisherConfig {
+  TileGridConfig tiles;
+  /// Force a full-keyframe publication every N successful publishes
+  /// (clamped to the cache's retention window so a fresh client can always
+  /// decode the latest cycle from cached tiles alone; 0 = use the cache's
+  /// retention_cycles).
+  std::size_t keyframe_every = 0;
+  /// Watchdog threshold: a publication making no progress for this long is
+  /// abandoned and the worker restarted (cf. jitdt::JitDtConfig).
+  double stall_timeout_s = 5.0;
+  /// Watchdog poll cadence.
+  double watchdog_poll_s = 0.01;
+  /// Restart budget; once exhausted a wedged worker is left alone and
+  /// publication stops (submissions still supersede harmlessly).
+  int max_restarts = 3;
+  /// Fault injection: runs on the worker thread after encoding, before the
+  /// cache commit (tests wedge publications here).
+  std::function<void(std::uint64_t cycle)> publish_hook;
+};
+
+class Publisher {
+ public:
+  /// Produces the cycle's dense products on the worker thread.  The
+  /// callable must be self-contained (own its state snapshot).
+  using FrameSource = std::function<ProductFrame()>;
+
+  /// Borrows `cache` (must outlive the publisher).  `metrics` may be null;
+  /// see docs/SERVING.md for the metric schema.
+  Publisher(ProductCache* cache, PublisherConfig cfg,
+            util::Metrics* metrics = nullptr);
+  ~Publisher();
+  Publisher(const Publisher&) = delete;
+  Publisher& operator=(const Publisher&) = delete;
+
+  /// Stage `frame` for publication as `cycle`.  Never blocks on a busy or
+  /// wedged worker: a queued-but-unstarted older job is superseded.
+  void submit(std::uint64_t cycle, FrameSource frame);
+
+  /// Wait until no submission is queued and no live-generation publication
+  /// is in flight.  Returns false on timeout (e.g. a wedged worker whose
+  /// restart budget is exhausted).
+  [[nodiscard]] bool drain(double timeout_s = 30.0);
+
+  std::uint64_t submitted() const;   ///< submit() calls accepted
+  std::uint64_t superseded() const;  ///< queued jobs replaced by newer ones
+  std::uint64_t published() const;   ///< cycles committed to the cache
+  int restarts() const;              ///< watchdog-triggered worker restarts
+  std::uint64_t stale_discards() const;  ///< abandoned-generation results
+
+ private:
+  struct Job {
+    std::uint64_t cycle = 0;
+    FrameSource frame;
+  };
+  /// Delta base: the raw tiles of the last cycle this worker generation
+  /// committed (per product kind, in cut_tiles order).
+  struct DeltaBase {
+    std::uint64_t cycle = 0;
+    std::vector<std::vector<float>> map_view;
+    std::vector<std::vector<float>> volume;
+  };
+
+  void worker(std::uint64_t gen);
+  void watchdog();
+  std::shared_ptr<const CycleProducts> encode_frame(
+      std::uint64_t cycle, const ProductFrame& frame,
+      std::optional<DeltaBase>& base, std::size_t& since_keyframe) const;
+
+  ProductCache* cache_;
+  PublisherConfig cfg_;
+  util::Metrics* metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_ BDA_CV_OF(mu_);  ///< job / shutdown /
+                                                    ///< generation change
+  std::condition_variable idle_cv_ BDA_CV_OF(mu_);  ///< publication done
+  std::unique_ptr<Job> pending_ BDA_GUARDED_BY(mu_);
+  bool busy_ BDA_GUARDED_BY(mu_) = false;  ///< live generation mid-publish
+  std::chrono::steady_clock::time_point busy_since_ BDA_GUARDED_BY(mu_);
+  std::uint64_t generation_ BDA_GUARDED_BY(mu_) = 0;
+  bool shutdown_ BDA_GUARDED_BY(mu_) = false;
+  std::uint64_t submitted_ BDA_GUARDED_BY(mu_) = 0;
+  std::uint64_t superseded_ BDA_GUARDED_BY(mu_) = 0;
+  std::uint64_t published_ BDA_GUARDED_BY(mu_) = 0;
+  int restarts_ BDA_GUARDED_BY(mu_) = 0;
+  std::uint64_t stale_discards_ BDA_GUARDED_BY(mu_) = 0;
+  /// Every worker ever spawned (the live one plus abandoned ones, which
+  /// exit on their own once their wedge clears); joined at destruction.
+  std::vector<std::thread> workers_ BDA_GUARDED_BY(mu_);
+
+  std::thread watchdog_thread_;  ///< started in ctor, joined in dtor
+};
+
+}  // namespace bda::serve

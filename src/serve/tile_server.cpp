@@ -1,0 +1,75 @@
+#include "serve/tile_server.hpp"
+
+#include <chrono>
+
+namespace bda::serve {
+
+TileServer::TileServer(const ProductCache* cache, util::Metrics* metrics,
+                       std::uint64_t sample_every)
+    : cache_(cache), metrics_(metrics),
+      sample_every_(sample_every == 0 ? 1 : sample_every) {}
+
+TileResponse TileServer::get(const TileRequest& req) const {
+  const std::uint64_t n =
+      requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool sampled = metrics_ != nullptr && (n % sample_every_) == 0;
+  const auto t0 = sampled ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+
+  TileResponse resp;
+  resp.pin = cache_->snapshot();
+  const ProductCache::Epoch& epoch = *resp.pin;
+  resp.latest_cycle = epoch.latest_cycle();
+
+  if (epoch.empty()) {
+    resp.status = ServeStatus::kEmpty;
+    miss_empty_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const CycleProducts* products = nullptr;
+    if (req.cycle == kLatestCycle) {
+      products = epoch.latest();
+    } else {
+      products = epoch.find_cycle(req.cycle);
+      if (products == nullptr) {
+        resp.status = ServeStatus::kStaleCycle;
+        miss_stale_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (products != nullptr) {
+      resp.tile = products->find(req.key);
+      if (resp.tile == nullptr) {
+        resp.status = ServeStatus::kUnknownTile;
+        miss_unknown_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        resp.status = ServeStatus::kHit;
+        resp.served_cycle = products->cycle;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (sampled) {
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    metrics_->observe("serve.request", dt.count());
+  }
+  return resp;
+}
+
+void TileServer::flush_metrics() {
+  if (metrics_ == nullptr) return;
+  const std::uint64_t now[5] = {
+      requests_.load(std::memory_order_relaxed),
+      hits_.load(std::memory_order_relaxed),
+      miss_empty_.load(std::memory_order_relaxed),
+      miss_stale_.load(std::memory_order_relaxed),
+      miss_unknown_.load(std::memory_order_relaxed)};
+  const char* names[5] = {"serve.requests", "serve.hit", "serve.miss.empty",
+                          "serve.miss.stale", "serve.miss.unknown"};
+  for (int i = 0; i < 5; ++i) {
+    if (now[i] > flushed_[i]) metrics_->count(names[i], now[i] - flushed_[i]);
+    flushed_[i] = now[i];
+  }
+}
+
+}  // namespace bda::serve

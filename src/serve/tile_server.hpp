@@ -1,0 +1,101 @@
+// Thread-safe tile request API over the ProductCache.
+//
+// One TileServer instance is shared by every client thread of the request
+// storm; get() is const, lock-free past the cache snapshot, and safe to
+// call concurrently with publication.  Hit/miss accounting uses relaxed
+// atomics on the request path and is flushed into util::Metrics on demand
+// (flush_metrics), so the hot path never takes the metrics mutex per
+// request; request latency is *sampled* into the metrics series (every
+// `sample_every`-th request) for the same reason.
+//
+// Staleness contract (the SLO bench_serve_storm gates on): a kLatest
+// request is always answered from the newest published cycle, so its
+// staleness is 0 by construction; a pinned-cycle request is answered only
+// while that cycle is inside the retention window — once retired it is a
+// kStaleCycle miss, never a silently old product.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "serve/product_cache.hpp"
+#include "util/metrics.hpp"
+
+namespace bda::serve {
+
+/// Request the newest published cycle.
+inline constexpr std::uint64_t kLatestCycle = ~std::uint64_t{0};
+
+struct TileRequest {
+  TileKey key;
+  /// Specific cycle, or kLatestCycle for the newest.
+  std::uint64_t cycle = kLatestCycle;
+};
+
+enum class ServeStatus : std::uint8_t {
+  kHit = 0,         ///< tile returned
+  kEmpty,           ///< nothing published yet
+  kStaleCycle,      ///< requested cycle outside the retention window
+  kUnknownTile,     ///< cycle present but no such tile key
+};
+
+struct TileResponse {
+  ServeStatus status = ServeStatus::kEmpty;
+  std::uint64_t served_cycle = 0;  ///< cycle of `tile` (valid on kHit)
+  std::uint64_t latest_cycle = 0;  ///< cache head at answer time
+  /// Borrowed from `pin`; valid while `pin` is held.
+  const EncodedTile* tile = nullptr;
+  /// Keeps the served cycle alive past concurrent retirement.
+  std::shared_ptr<const ProductCache::Epoch> pin;
+
+  bool hit() const { return status == ServeStatus::kHit; }
+  /// Cycles between the cache head and what was served (0 on kLatestCycle
+  /// requests by construction).
+  std::uint64_t staleness_cycles() const {
+    return hit() ? latest_cycle - served_cycle : 0;
+  }
+};
+
+class TileServer {
+ public:
+  /// Borrows `cache` (must outlive the server).  `metrics` may be null.
+  /// Every `sample_every`-th request's latency lands in the
+  /// "serve.request" series (1 = all requests).
+  TileServer(const ProductCache* cache, util::Metrics* metrics = nullptr,
+             std::uint64_t sample_every = 1);
+
+  /// Answer one tile request.  Thread-safe, wait-free past the cache
+  /// snapshot.
+  TileResponse get(const TileRequest& req) const;
+
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return miss_empty_.load(std::memory_order_relaxed) +
+           miss_stale_.load(std::memory_order_relaxed) +
+           miss_unknown_.load(std::memory_order_relaxed);
+  }
+
+  /// Push the counter deltas since the last flush into the metrics sink
+  /// ("serve.hit", "serve.miss.empty", "serve.miss.stale",
+  /// "serve.miss.unknown", "serve.requests").  Call from one thread at a
+  /// time (end of run, or a periodic reporter).
+  void flush_metrics();
+
+ private:
+  const ProductCache* cache_;
+  util::Metrics* metrics_;
+  const std::uint64_t sample_every_;
+
+  mutable std::atomic<std::uint64_t> requests_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> miss_empty_{0};
+  mutable std::atomic<std::uint64_t> miss_stale_{0};
+  mutable std::atomic<std::uint64_t> miss_unknown_{0};
+  std::uint64_t flushed_[5] = {0, 0, 0, 0, 0};  ///< last-flushed snapshot
+};
+
+}  // namespace bda::serve

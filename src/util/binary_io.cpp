@@ -1,7 +1,9 @@
 #include "util/binary_io.hpp"
 
 #include <array>
+#include <atomic>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -19,6 +21,27 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& buf,
           static_cast<std::streamsize>(buf.size()));
   if (!f)
     throw std::runtime_error(std::string(what) + ": write failed: " + path);
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& buf,
+                       const char* what) {
+  // Unique per call so concurrent writers of the SAME path cannot stomp
+  // each other's staging file (last rename wins, both renames are whole
+  // files).  Same directory as the target: rename must not cross a
+  // filesystem boundary.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp =
+      path + ".tmp." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  write_file(tmp, buf, what);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error(std::string(what) +
+                             ": atomic rename failed: " + path);
+  }
 }
 
 }  // namespace bda::io
@@ -104,7 +127,9 @@ std::vector<FieldRecord> decode_bdf(const std::vector<std::uint8_t>& buf) {
 }
 
 void write_bdf(const std::string& path, const std::vector<FieldRecord>& recs) {
-  io::write_file(path, encode_bdf(recs), "BDF");
+  // Products of record (map view, 3-D volume, checkpoints) are published
+  // atomically: the file either does not exist yet or is complete.
+  io::write_file_atomic(path, encode_bdf(recs), "BDF");
 }
 
 std::vector<FieldRecord> read_bdf(const std::string& path) {

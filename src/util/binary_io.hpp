@@ -70,8 +70,20 @@ void take_raw(const std::vector<std::uint8_t>& buf, std::size_t& pos, T* dst,
 
 /// Write a whole byte buffer to `path` (binary, truncating); throws on I/O
 /// failure.  `what` prefixes error messages ("BDF", "PWR1", ...).
+/// NOTE: writes in place — a concurrent reader can observe a truncated
+/// file.  Product-of-record paths must use write_file_atomic instead.
 void write_file(const std::string& path, const std::vector<std::uint8_t>& buf,
                 const char* what = "binary_io");
+
+/// Write `buf` to a unique temp file next to `path`, then rename it into
+/// place.  rename(2) is atomic within a filesystem, so a concurrent reader
+/// (the serving tier, the ops watcher, the JIT-DT directory poll) sees
+/// either the previous complete file or the new complete file — never a
+/// torn intermediate whose mtime already claims T_fcst.  Throws on I/O
+/// failure; the temp file is removed on error.
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& buf,
+                       const char* what = "binary_io");
 
 }  // namespace bda::io
 

@@ -114,6 +114,35 @@ void append_number(std::string& out, double v) {
   std::snprintf(buf, sizeof buf, "%.9g", v);
   out += buf;
 }
+
+// Metric names are caller-chosen strings (bench labels interpolate tile
+// keys, file paths, ...), so export must escape them: a bare `"` or `\`
+// in a key used to render the whole BENCH_*.json unparseable.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 }  // namespace
 
 std::string Metrics::to_json() const {
@@ -131,7 +160,7 @@ std::string Metrics::to_json() const {
   for (const auto& [name, v] : counters) {
     out += first ? "\n" : ",\n";
     first = false;
-    out += "    \"" + name + "\": " + std::to_string(v);
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(v);
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"timers\": {";
@@ -140,7 +169,8 @@ std::string Metrics::to_json() const {
     const TimerStats s = stats_of(v);
     out += first ? "\n" : ",\n";
     first = false;
-    out += "    \"" + name + "\": {\"count\": " + std::to_string(s.count);
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(s.count);
     const std::pair<const char*, double> fields[] = {
         {"total_s", s.total_s}, {"mean_s", s.mean_s}, {"min_s", s.min_s},
         {"max_s", s.max_s},     {"p50_s", s.p50_s},   {"p97_s", s.p97_s},

@@ -117,7 +117,9 @@ class Metrics {
 
   /// JSON export: {"counters": {...}, "timers": {name: {count, total_s,
   /// mean_s, min_s, max_s, p50_s, p97_s, p99_s}, ...}}.  Keys are sorted,
-  /// so the output is deterministic for a deterministic run.
+  /// so the output is deterministic for a deterministic run, and escaped
+  /// (quotes, backslashes, control characters), so any caller-chosen
+  /// metric name yields valid JSON.
   std::string to_json() const;
 
   /// Drop all counters and samples.

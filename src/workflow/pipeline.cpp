@@ -3,6 +3,9 @@
 #include <future>
 #include <utility>
 
+#include "serve/publisher.hpp"
+#include "workflow/products.hpp"
+
 namespace bda::workflow {
 
 PipelinedDriver::PipelinedDriver(BdaSystem& sys, PipelineConfig cfg,
@@ -131,6 +134,17 @@ std::vector<CycleResult> PipelinedDriver::run(std::size_t n_cycles) {
     if (cfg_.product_every > 0 &&
         c % static_cast<std::size_t>(cfg_.product_every) == 0)
       submit_product(c, t_obs_wall);
+    // Serving tier: hand the analysis-mean snapshot to the publisher.  The
+    // lambda owns its copies; the frame is built on the publisher's worker
+    // thread, and submit() never blocks — a wedged publisher costs this
+    // cycle nothing (the watchdog restarts it, publisher.hpp).
+    if (cfg_.publisher != nullptr && cfg_.publish_every > 0 &&
+        c % static_cast<std::size_t>(cfg_.publish_every) == 0) {
+      cfg_.publisher->submit(
+          c, [grid = sys_.grid(), snap = sys_.ensemble().mean()] {
+            return product_frame(grid, snap);
+          });
+    }
     if (cfg_.cycle_sleep_s > 0)
       std::this_thread::sleep_for(
           std::chrono::duration<double>(cfg_.cycle_sleep_s));

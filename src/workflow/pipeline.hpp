@@ -35,6 +35,10 @@
 #include "util/metrics.hpp"
 #include "workflow/cycle.hpp"
 
+namespace bda::serve {
+class Publisher;
+}  // namespace bda::serve
+
 namespace bda::workflow {
 
 struct PipelineConfig {
@@ -58,6 +62,16 @@ struct PipelineConfig {
   /// return a larger value for designated "slow" cycles).  Called on the
   /// main thread at admission time.
   std::function<double(std::size_t cycle)> sleep_for_cycle;
+  /// Optional serving tier (may be null): every `publish_every`-th cycle's
+  /// analysis-mean nowcast products are handed to this publisher.  The
+  /// handoff is one state snapshot + a non-blocking submit on the main
+  /// thread; tiling, delta encoding and the cache commit all run on the
+  /// publisher's own watchdog-guarded worker, so a slow or wedged
+  /// publisher never delays the next cycle's admission — and the serving
+  /// tier is bitwise-transparent to the analyses
+  /// (tests/workflow/test_pipeline_serve.cpp).
+  serve::Publisher* publisher = nullptr;
+  int publish_every = 1;
 };
 
 /// One completed product forecast <2>.  Times are wall-clock seconds on the

@@ -1,7 +1,7 @@
 #include "workflow/products.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <array>
 #include <filesystem>
 
 #include "scale/microphysics.hpp"
@@ -9,57 +9,82 @@
 
 namespace bda::workflow {
 
+serve::ProductFrame product_frame(const scale::Grid& grid,
+                                  const scale::State& s) {
+  serve::ProductFrame frame;
+
+  // 3-D reflectivity volume.
+  frame.volume = Field3D<float>(grid.nx(), grid.ny(), grid.nz(), 0);
+  for (idx i = 0; i < grid.nx(); ++i)
+    for (idx j = 0; j < grid.ny(); ++j)
+      for (idx k = 0; k < grid.nz(); ++k)
+        frame.volume(i, j, k) = float(scale::cell_reflectivity_dbz(s, i, j, k));
+
+  // Map view: column-max ("composite") reflectivity as a 1-level field.
+  frame.map_view = Field3D<float>(grid.nx(), grid.ny(), 1, 0);
+  for (idx i = 0; i < grid.nx(); ++i)
+    for (idx j = 0; j < grid.ny(); ++j) {
+      float m = frame.volume(i, j, 0);
+      for (idx k = 1; k < grid.nz(); ++k)
+        m = std::max(m, frame.volume(i, j, k));
+      frame.map_view(i, j, 0) = m;
+    }
+  return frame;
+}
+
 ProductPaths write_products(const std::string& out_dir,
                             const scale::Grid& grid, const scale::State& s,
                             double valid_time_s) {
   std::filesystem::create_directories(out_dir);
   const std::string stamp = std::to_string(static_cast<long>(valid_time_s));
-
-  // 3-D reflectivity volume.
-  Field3D<float> dbz(grid.nx(), grid.ny(), grid.nz(), 0);
-  for (idx i = 0; i < grid.nx(); ++i)
-    for (idx j = 0; j < grid.ny(); ++j)
-      for (idx k = 0; k < grid.nz(); ++k)
-        dbz(i, j, k) = float(scale::cell_reflectivity_dbz(s, i, j, k));
-
-  // Map view: column-max ("composite") reflectivity as a 1-level field.
-  Field3D<float> composite(grid.nx(), grid.ny(), 1, 0);
-  for (idx i = 0; i < grid.nx(); ++i)
-    for (idx j = 0; j < grid.ny(); ++j) {
-      float m = dbz(i, j, 0);
-      for (idx k = 1; k < grid.nz(); ++k) m = std::max(m, dbz(i, j, k));
-      composite(i, j, 0) = m;
-    }
+  const serve::ProductFrame frame = product_frame(grid, s);
 
   ProductPaths paths;
   paths.map_view = out_dir + "/map_view_" + stamp + ".bdf";
   paths.volume_3d = out_dir + "/volume3d_" + stamp + ".bdf";
-  write_bdf(paths.map_view, {{"composite_dbz", composite}});
-  write_bdf(paths.volume_3d, {{"dbz", dbz}});
+  write_bdf(paths.map_view, {{"composite_dbz", frame.map_view}});
+  write_bdf(paths.volume_3d, {{"dbz", frame.volume}});
   return paths;
 }
 
 std::vector<std::size_t> rain_cores(const RField3D& dbz, real threshold) {
   const idx nx = dbz.nx(), ny = dbz.ny(), nz = dbz.nz();
   std::vector<std::uint8_t> visited(
-      static_cast<std::size_t>(nx * ny * nz), 0);
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+          static_cast<std::size_t>(nz),
+      0);
   auto id = [&](idx i, idx j, idx k) {
-    return static_cast<std::size_t>((i * ny + j) * nz + k);
+    return (static_cast<std::size_t>(i) * static_cast<std::size_t>(ny) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(nz) +
+           static_cast<std::size_t>(k);
+  };
+  // Core membership is `>= threshold` (the header's documented boundary).
+  // Spelled as a positive comparison so NaN voxels (missing data) are
+  // excluded: the negated form `!(dbz < threshold)` silently swept NaNs
+  // into cores — a degenerate all-NaN volume labeled as one giant core.
+  auto in_core = [&](idx i, idx j, idx k) {
+    return dbz(i, j, k) >= threshold;
   };
 
   std::vector<std::size_t> sizes;
-  std::deque<std::array<idx, 3>> queue;
+  // Explicit worklist (no recursion: a degenerate all-above-threshold
+  // volume is one core covering every voxel, which would blow the stack on
+  // a call-recursive fill).  LIFO order keeps the live frontier compact;
+  // the vector is reused across cores so the fill never reallocates after
+  // the first.
+  std::vector<std::array<idx, 3>> worklist;
   for (idx i = 0; i < nx; ++i)
     for (idx j = 0; j < ny; ++j)
       for (idx k = 0; k < nz; ++k) {
-        if (visited[id(i, j, k)] || dbz(i, j, k) < threshold) continue;
+        if (visited[id(i, j, k)] || !in_core(i, j, k)) continue;
         // Flood fill (6-connectivity).
         std::size_t count = 0;
         visited[id(i, j, k)] = 1;
-        queue.push_back({i, j, k});
-        while (!queue.empty()) {
-          auto [ci, cj, ck] = queue.front();
-          queue.pop_front();
+        worklist.push_back({i, j, k});
+        while (!worklist.empty()) {
+          const auto [ci, cj, ck] = worklist.back();
+          worklist.pop_back();
           ++count;
           const idx di[6] = {1, -1, 0, 0, 0, 0};
           const idx dj[6] = {0, 0, 1, -1, 0, 0};
@@ -69,10 +94,9 @@ std::vector<std::size_t> rain_cores(const RField3D& dbz, real threshold) {
             if (ni < 0 || ni >= nx || nj < 0 || nj >= ny || nk < 0 ||
                 nk >= nz)
               continue;
-            if (visited[id(ni, nj, nk)] || dbz(ni, nj, nk) < threshold)
-              continue;
+            if (visited[id(ni, nj, nk)] || !in_core(ni, nj, nk)) continue;
             visited[id(ni, nj, nk)] = 1;
-            queue.push_back({ni, nj, nk});
+            worklist.push_back({ni, nj, nk});
           }
         }
         sizes.push_back(count);

@@ -12,6 +12,7 @@
 
 #include "scale/grid.hpp"
 #include "scale/state.hpp"
+#include "serve/tile.hpp"
 #include "util/field.hpp"
 
 namespace bda::workflow {
@@ -21,8 +22,16 @@ struct ProductPaths {
   std::string volume_3d;  ///< full 3-D reflectivity (BDF)
 };
 
+/// Compute both Fig 1 product fields (column-max composite + 3-D
+/// reflectivity volume) from a forecast state.  Shared by the file writer
+/// below and the in-memory serving tier (serve::Publisher).
+serve::ProductFrame product_frame(const scale::Grid& grid,
+                                  const scale::State& s);
+
 /// Write both products for a forecast state; returns the paths written.
-/// The file timestamps are T_fcst by definition.
+/// The file timestamps are T_fcst by definition.  Files land atomically
+/// (temp + rename), so a concurrent reader — the serving tier, the ops
+/// watcher — never observes a truncated product.
 ProductPaths write_products(const std::string& out_dir,
                             const scale::Grid& grid, const scale::State& s,
                             double valid_time_s);

@@ -1,0 +1,138 @@
+// ProductCache contract tests: atomic epoch swap, bounded retention,
+// monotonic-cycle publication, and snapshot pinning under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/product_cache.hpp"
+
+namespace bda::serve {
+namespace {
+
+std::shared_ptr<const CycleProducts> make_cycle(std::uint64_t cycle) {
+  auto p = std::make_shared<CycleProducts>();
+  p->cycle = cycle;
+  EncodedTile t;
+  t.key = TileKey{ProductKind::kMapView, 0, 0};
+  t.cycle = cycle;
+  t.nx = 1;
+  t.ny = 1;
+  t.nz = 1;
+  t.bytes = {std::uint8_t(cycle & 0xFF)};
+  p->tiles.emplace(t.key, t);
+  return p;
+}
+
+TEST(ProductCache, EmptyCacheHasEmptyEpoch) {
+  ProductCache cache(3);
+  const auto epoch = cache.snapshot();
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_TRUE(epoch->empty());
+  EXPECT_EQ(epoch->latest(), nullptr);
+  EXPECT_EQ(epoch->find_cycle(0), nullptr);
+}
+
+TEST(ProductCache, PublishAdvancesLatest) {
+  ProductCache cache(3);
+  ASSERT_TRUE(cache.publish(make_cycle(5)));
+  ASSERT_TRUE(cache.publish(make_cycle(6)));
+  const auto epoch = cache.snapshot();
+  EXPECT_EQ(epoch->latest_cycle(), 6u);
+  ASSERT_NE(epoch->latest(), nullptr);
+  EXPECT_EQ(epoch->latest()->cycle, 6u);
+  EXPECT_NE(epoch->find_cycle(5), nullptr);
+}
+
+TEST(ProductCache, RetentionEvictsExactlyOutsideWindow) {
+  ProductCache cache(3);
+  for (std::uint64_t c = 0; c < 7; ++c)
+    ASSERT_TRUE(cache.publish(make_cycle(c)));
+  const auto epoch = cache.snapshot();
+  // Window is exactly the newest 3 cycles: 4, 5, 6 — nothing more, nothing
+  // less.
+  EXPECT_EQ(epoch->cycles.size(), 3u);
+  for (std::uint64_t c = 0; c < 4; ++c)
+    EXPECT_EQ(epoch->find_cycle(c), nullptr) << "cycle " << c << " retained";
+  for (std::uint64_t c = 4; c < 7; ++c)
+    EXPECT_NE(epoch->find_cycle(c), nullptr) << "cycle " << c << " evicted";
+}
+
+TEST(ProductCache, ZeroRetentionClampsToOne) {
+  ProductCache cache(0);
+  EXPECT_EQ(cache.retention_cycles(), 1u);
+  ASSERT_TRUE(cache.publish(make_cycle(1)));
+  ASSERT_TRUE(cache.publish(make_cycle(2)));
+  EXPECT_EQ(cache.snapshot()->cycles.size(), 1u);
+}
+
+TEST(ProductCache, StalePublishIsRejected) {
+  ProductCache cache(3);
+  ASSERT_TRUE(cache.publish(make_cycle(10)));
+  // Not strictly newer: both an older and an equal cycle bounce.
+  EXPECT_FALSE(cache.publish(make_cycle(9)));
+  EXPECT_FALSE(cache.publish(make_cycle(10)));
+  EXPECT_EQ(cache.rejected_stale(), 2u);
+  const auto epoch = cache.snapshot();
+  EXPECT_EQ(epoch->latest_cycle(), 10u);
+  EXPECT_EQ(epoch->cycles.size(), 1u);
+}
+
+TEST(ProductCache, SnapshotPinsRetiredCycles) {
+  ProductCache cache(2);
+  ASSERT_TRUE(cache.publish(make_cycle(1)));
+  const auto old_epoch = cache.snapshot();
+  // Publish far past the retention window: cycle 1 retires from the cache…
+  for (std::uint64_t c = 2; c < 8; ++c)
+    ASSERT_TRUE(cache.publish(make_cycle(c)));
+  EXPECT_EQ(cache.snapshot()->find_cycle(1), nullptr);
+  // …but the in-flight reader's snapshot still resolves it, unchanged.
+  const CycleProducts* pinned = old_epoch->find_cycle(1);
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->cycle, 1u);
+  EXPECT_EQ(pinned->tiles.size(), 1u);
+}
+
+// The tsan race workout: a publisher thread swapping epochs as fast as it
+// can while reader threads snapshot and walk whatever cycle they see.
+TEST(ProductCache, StressConcurrentPublishAndSnapshot) {
+  ProductCache cache(4);
+  constexpr std::uint64_t kCycles = 400;
+  constexpr int kReaders = 4;
+  constexpr int kReadsEach = 2000;
+  // Seed one cycle before the readers start so no snapshot is ever empty —
+  // every reader iteration exercises the full walk, regardless of how the
+  // scheduler interleaves readers with the publish loop.
+  ASSERT_TRUE(cache.publish(make_cycle(1)));
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r)
+    readers.emplace_back([&] {
+      std::uint64_t last_seen = 0;
+      for (int n = 0; n < kReadsEach; ++n) {
+        const auto epoch = cache.snapshot();
+        ASSERT_FALSE(epoch->empty());
+        // Monotonic reads: the head never goes backwards.
+        EXPECT_GE(epoch->latest_cycle(), last_seen);
+        last_seen = epoch->latest_cycle();
+        // Every cycle in the window is internally consistent.
+        for (const auto& [c, prod] : epoch->cycles) {
+          EXPECT_EQ(prod->cycle, c);
+          EXPECT_EQ(prod->tiles.size(), 1u);
+        }
+        EXPECT_LE(epoch->cycles.size(), cache.retention_cycles());
+      }
+    });
+
+  for (std::uint64_t c = 2; c <= kCycles; ++c)
+    ASSERT_TRUE(cache.publish(make_cycle(c)));
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(cache.snapshot()->latest_cycle(), kCycles);
+}
+
+}  // namespace
+}  // namespace bda::serve

@@ -1,0 +1,321 @@
+// Publisher contract tests: the off-cycle publish path, supersede-on-busy,
+// the watchdog/auto-restart idiom, and the keyframe guarantee that keeps
+// the latest cycle decodable from cached tiles alone.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/publisher.hpp"
+#include "serve/tile_server.hpp"
+#include "util/metrics.hpp"
+
+namespace bda::serve {
+namespace {
+
+// Small dense products whose values are a pure function of the cycle, with
+// most of the field static so deltas compress (only a moving "cell"
+// changes between cycles).
+ProductFrame make_frame(std::uint64_t cycle, idx n = 16, idx nz = 4) {
+  ProductFrame f;
+  f.volume = Field3D<float>(n, n, nz, 0);
+  f.volume.fill(-20.0f);
+  const idx ci = idx(cycle) % n;
+  for (idx k = 0; k < nz; ++k) f.volume(ci, ci, k) = 40.0f + float(k);
+  f.map_view = Field3D<float>(n, n, 1, 0);
+  f.map_view.fill(-20.0f);
+  f.map_view(ci, ci, 0) = 40.0f + float(nz - 1);
+  return f;
+}
+
+Publisher::FrameSource frame_source(std::uint64_t cycle) {
+  return [cycle] { return make_frame(cycle); };
+}
+
+void wait_until(const std::function<bool()>& pred, double timeout_s = 10.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (!pred() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(pred()) << "condition not reached within " << timeout_s << " s";
+}
+
+// Decode `tile` using only what the epoch itself retains: walk the delta
+// chain back to a keyframe, then replay forward.  This is exactly what a
+// client holding one cache snapshot can do.
+std::vector<float> decode_from_epoch(const ProductCache::Epoch& epoch,
+                                     const TileKey& key,
+                                     const EncodedTile& tile) {
+  std::vector<const EncodedTile*> chain{&tile};
+  while (!chain.back()->is_keyframe()) {
+    const CycleProducts* bp =
+        epoch.find_cycle(std::uint64_t(chain.back()->base_cycle));
+    if (bp == nullptr)
+      throw std::runtime_error("delta base retired before its dependents");
+    const EncodedTile* bt = bp->find(key);
+    if (bt == nullptr) throw std::runtime_error("delta base tile missing");
+    chain.push_back(bt);
+  }
+  std::vector<float> samples = decode_tile(*chain.back(), nullptr,
+                                           kNoBaseCycle);
+  for (auto it = chain.rbegin() + 1; it != chain.rend(); ++it)
+    samples = decode_tile(**it, &samples, (*it)->base_cycle);
+  return samples;
+}
+
+TEST(Publisher, PublishesSubmittedCyclesIntoCache) {
+  ProductCache cache(4);
+  util::Metrics metrics;
+  Publisher pub(&cache, {}, &metrics);
+
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    pub.submit(c, frame_source(c));
+    ASSERT_TRUE(pub.drain());
+  }
+  EXPECT_EQ(pub.published(), 3u);
+  EXPECT_EQ(pub.restarts(), 0);
+
+  const auto epoch = cache.snapshot();
+  EXPECT_EQ(epoch->latest_cycle(), 2u);
+  EXPECT_EQ(epoch->cycles.size(), 3u);
+  EXPECT_EQ(metrics.counter("serve.publish.count"), 3u);
+  EXPECT_EQ(metrics.samples("serve.publish"), 3u);
+
+  // Every published tile decodes from the epoch alone, and the decoded
+  // samples match the source frame.
+  for (const auto& [cycle, prod] : epoch->cycles)
+    for (const auto& [key, tile] : prod->tiles) {
+      EXPECT_EQ(tile.cycle, cycle);
+      const auto samples = decode_from_epoch(*epoch, key, tile);
+      ASSERT_EQ(samples.size(), tile.sample_count());
+      const ProductFrame frame = make_frame(cycle);
+      const Field3D<float>& field = key.kind == ProductKind::kMapView
+                                        ? frame.map_view
+                                        : frame.volume;
+      // Sample 0 of tile (tx, ty) is column (tx*8, ty*8) level 0.
+      EXPECT_EQ(samples[0], field(key.tx * 8, key.ty * 8, 0));
+    }
+}
+
+TEST(Publisher, SecondCycleShipsDeltas) {
+  ProductCache cache(4);
+  Publisher pub(&cache, {});
+  pub.submit(0, frame_source(0));
+  ASSERT_TRUE(pub.drain());
+  pub.submit(1, frame_source(1));
+  ASSERT_TRUE(pub.drain());
+
+  const auto epoch = cache.snapshot();
+  const CycleProducts* first = epoch->find_cycle(0);
+  const CycleProducts* second = epoch->find_cycle(1);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  // A fresh worker's first publication is all keyframes…
+  EXPECT_EQ(first->delta_tiles, 0u);
+  EXPECT_GT(first->keyframe_tiles, 0u);
+  // …and the mostly-static frame makes the next one mostly deltas, which
+  // ship far fewer bytes than the keyframes did.
+  EXPECT_GT(second->delta_tiles, second->keyframe_tiles);
+  EXPECT_LT(second->delta_bytes + second->keyframe_bytes,
+            first->keyframe_bytes / 2);
+}
+
+TEST(Publisher, KeyframeCadenceKeepsLatestCycleDecodableFromCacheAlone) {
+  // keyframe_every is clamped to the retention window, so for ANY cycle
+  // count a client holding only the current epoch can decode the latest
+  // cycle by walking deltas back to a keyframe inside the window.
+  ProductCache cache(3);
+  PublisherConfig cfg;
+  cfg.keyframe_every = 100;  // will clamp to 3
+  Publisher pub(&cache, cfg);
+  for (std::uint64_t c = 0; c < 17; ++c) {
+    pub.submit(c, frame_source(c));
+    ASSERT_TRUE(pub.drain());
+  }
+  const auto epoch = cache.snapshot();
+  const CycleProducts* latest = epoch->latest();
+  ASSERT_NE(latest, nullptr);
+
+  for (const auto& [key, tile] : latest->tiles) {
+    std::vector<float> samples;
+    ASSERT_NO_THROW(samples = decode_from_epoch(*epoch, key, tile));
+    EXPECT_EQ(samples.size(), tile.sample_count());
+  }
+}
+
+TEST(Publisher, NewerSubmissionSupersedesQueuedOlderOne) {
+  ProductCache cache(4);
+  // Wedge the worker in its FIRST frame build so later submissions pile up
+  // behind it in the single pending slot.
+  auto gate = std::make_shared<std::atomic<bool>>(false);
+  auto entered = std::make_shared<std::atomic<bool>>(false);
+  Publisher pub(&cache, {});
+  pub.submit(0, [gate, entered] {
+    entered->store(true);
+    while (!gate->load()) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+    return make_frame(0);
+  });
+  // Only once the worker is demonstrably inside cycle 0's frame build does
+  // queueing 1..4 exercise the supersede path: each newer submit replaces
+  // the one still waiting in the slot.
+  wait_until([&] { return entered->load(); });
+  for (std::uint64_t c = 1; c <= 4; ++c) pub.submit(c, frame_source(c));
+  gate->store(true);
+  ASSERT_TRUE(pub.drain());
+
+  EXPECT_EQ(pub.superseded(), 3u);  // 1, 2, 3 never ran
+  EXPECT_EQ(pub.published(), 2u);   // 0 and 4
+  const auto epoch = cache.snapshot();
+  EXPECT_EQ(epoch->latest_cycle(), 4u);
+  EXPECT_NE(epoch->find_cycle(0), nullptr);
+  EXPECT_EQ(epoch->find_cycle(2), nullptr);
+}
+
+TEST(Publisher, WatchdogRestartsWedgedWorkerAndDiscardsItsResult) {
+  ProductCache cache(4);
+  util::Metrics metrics;
+
+  // The first publication wedges in the publish hook (post-encode,
+  // pre-commit) until released; every later one passes straight through.
+  struct Wedge {
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<int> calls{0};
+  };
+  auto wedge = std::make_shared<Wedge>();
+
+  PublisherConfig cfg;
+  cfg.stall_timeout_s = 0.05;
+  cfg.watchdog_poll_s = 0.005;
+  cfg.max_restarts = 2;
+  cfg.publish_hook = [wedge](std::uint64_t) {
+    if (wedge->calls.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lk(wedge->m);
+      wedge->cv.wait(lk, [&] { return wedge->release; });
+    }
+  };
+
+  {
+    Publisher pub(&cache, cfg, &metrics);
+    pub.submit(0, frame_source(0));
+    // The watchdog abandons the wedged worker and spawns a replacement.
+    wait_until([&] { return pub.restarts() == 1; });
+
+    // The replacement publishes the next cycle normally — publication
+    // survived the wedge without human intervention.
+    pub.submit(1, frame_source(1));
+    ASSERT_TRUE(pub.drain());
+    EXPECT_EQ(cache.snapshot()->latest_cycle(), 1u);
+    EXPECT_EQ(pub.published(), 1u);
+
+    // Release the wedged worker: it must discover its generation is stale
+    // and discard — cycle 0 never reaches the cache after cycle 1.
+    {
+      std::lock_guard<std::mutex> lk(wedge->m);
+      wedge->release = true;
+    }
+    wedge->cv.notify_all();
+    wait_until([&] { return pub.stale_discards() == 1; });
+    EXPECT_EQ(cache.snapshot()->find_cycle(0), nullptr);
+    EXPECT_EQ(cache.snapshot()->latest_cycle(), 1u);
+    EXPECT_EQ(pub.restarts(), 1);
+  }  // destructor joins the released worker and the replacement
+
+  EXPECT_EQ(metrics.counter("serve.publish.restarts"), 1u);
+  EXPECT_EQ(metrics.counter("serve.publish.stale_discard"), 1u);
+}
+
+TEST(Publisher, RestartBudgetExhaustionStopsRestarting) {
+  ProductCache cache(4);
+  // Every publication wedges forever: the watchdog burns its whole budget,
+  // then gives the component up (the fail-safe never spins unbounded).
+  auto release = std::make_shared<std::atomic<bool>>(false);
+  PublisherConfig cfg;
+  cfg.stall_timeout_s = 0.03;
+  cfg.watchdog_poll_s = 0.005;
+  cfg.max_restarts = 2;
+  cfg.publish_hook = [release](std::uint64_t) {
+    while (!release->load()) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+  };
+  {
+    Publisher pub(&cache, cfg);
+    pub.submit(0, frame_source(0));
+    wait_until([&] { return pub.restarts() == 1; });
+    pub.submit(1, frame_source(1));  // wedges the replacement too
+    wait_until([&] { return pub.restarts() == 2; });
+    pub.submit(2, frame_source(2));  // wedges the last replacement
+    // Budget exhausted: no further restart, and drain times out instead of
+    // hanging forever.
+    EXPECT_FALSE(pub.drain(0.3));
+    EXPECT_EQ(pub.restarts(), 2);
+    EXPECT_EQ(pub.published(), 0u);
+    release->store(true);  // let the wedged workers exit before join
+  }
+  SUCCEED();
+}
+
+TEST(Publisher, BrokenFrameSourceIsContainedAndChainRestartsOnKeyframe) {
+  ProductCache cache(4);
+  util::Metrics metrics;
+  Publisher pub(&cache, {}, &metrics);
+  pub.submit(0, frame_source(0));
+  ASSERT_TRUE(pub.drain());
+  // A throwing frame builder must not kill the worker or the cache…
+  pub.submit(1, []() -> ProductFrame {
+    throw std::runtime_error("forecast state unavailable");
+  });
+  ASSERT_TRUE(pub.drain());
+  EXPECT_EQ(metrics.counter("serve.publish.error"), 1u);
+  EXPECT_EQ(cache.snapshot()->latest_cycle(), 0u);
+  // …and the delta chain restarts from a keyframe (the base was dropped).
+  pub.submit(2, frame_source(2));
+  ASSERT_TRUE(pub.drain());
+  const CycleProducts* after = cache.snapshot()->find_cycle(2);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->delta_tiles, 0u);
+  EXPECT_GT(after->keyframe_tiles, 0u);
+}
+
+TEST(Publisher, ServesConsistentTilesWhilePublishing) {
+  // End-to-end serve-side stress: readers hammer the TileServer while the
+  // publisher streams cycles; every hit must decode (tsan + asan workout).
+  ProductCache cache(4);
+  Publisher pub(&cache, {});
+  TileServer server(&cache);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> decoded{0};
+  for (int r = 0; r < 3; ++r)
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto resp =
+            server.get({TileKey{ProductKind::kMapView, 0, 0}, kLatestCycle});
+        if (!resp.hit()) continue;
+        if (resp.tile->is_keyframe()) {
+          decode_tile(*resp.tile, nullptr, kNoBaseCycle);
+          decoded.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+
+  for (std::uint64_t c = 0; c < 40; ++c) {
+    pub.submit(c, frame_source(c));
+    ASSERT_TRUE(pub.drain());
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(pub.published(), 40u);
+  EXPECT_GT(decoded.load(), 0u);
+}
+
+}  // namespace
+}  // namespace bda::serve

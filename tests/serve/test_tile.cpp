@@ -1,0 +1,172 @@
+// Tile cutting + delta-encoding contract tests (the serving wire format).
+//
+// The load-bearing property is defensive decoding: a delta applied to the
+// wrong base — wrong cycle, wrong samples, or no base at all — must be a
+// detected error, never a silently wrong image on a phone screen.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/tile.hpp"
+
+namespace bda::serve {
+namespace {
+
+Field3D<float> make_field(idx nx, idx ny, idx nz, float scale) {
+  Field3D<float> f(nx, ny, nz, 0);
+  for (idx i = 0; i < nx; ++i)
+    for (idx j = 0; j < ny; ++j)
+      for (idx k = 0; k < nz; ++k)
+        f(i, j, k) = scale * float(i * 1000 + j * 10 + k) - 20.0f;
+  return f;
+}
+
+TEST(Tile, CutTilesCoversEveryColumnExactlyOnce) {
+  const Field3D<float> f = make_field(20, 13, 4, 0.5f);  // 13: edge tiles
+  const TileGridConfig cfg;                              // 8x8
+  const auto tiles = cut_tiles(f, cfg);
+  const idx tiles_x = tile_count(f.nx(), cfg.tile_nx);
+  const idx tiles_y = tile_count(f.ny(), cfg.tile_ny);
+  EXPECT_EQ(tiles_x, 3);
+  EXPECT_EQ(tiles_y, 2);
+  ASSERT_EQ(tiles.size(), std::size_t(tiles_x * tiles_y));
+  std::size_t total = 0;
+  for (const auto& t : tiles) total += t.size();
+  EXPECT_EQ(total, std::size_t(f.nx() * f.ny() * f.nz()));
+
+  // Spot-check layout: tile (tx, ty) sample 0 is column (tx*8, ty*8) level 0.
+  // Tiles are tx-major then ty, samples i-major then j then k.
+  const std::size_t flat_10 = 1 * std::size_t(tiles_y) + 0;  // tx=1, ty=0
+  EXPECT_EQ(tiles[flat_10][0], f(8, 0, 0));
+  EXPECT_EQ(tiles[flat_10][1], f(8, 0, 1));
+  // Last tile is the clipped corner: 4 x 5 columns.
+  const auto& corner = tiles.back();
+  EXPECT_EQ(corner.size(), std::size_t(4 * 5 * f.nz()));
+  EXPECT_EQ(corner[0], f(16, 8, 0));
+}
+
+TEST(Tile, KeyframeRoundtrip) {
+  const std::vector<float> samples = {1.0f, -2.5f, 0.0f, 0.0f, 0.0f, 3.25f};
+  const TileKey key{ProductKind::kMapView, 2, 3};
+  const EncodedTile t =
+      encode_tile(key, 7, 3, 2, 1, samples, nullptr, kNoBaseCycle,
+                  /*force_keyframe=*/false);
+  EXPECT_TRUE(t.is_keyframe());
+  EXPECT_EQ(t.cycle, 7u);
+  EXPECT_TRUE(t.key == key);
+  EXPECT_EQ(t.sample_count(), samples.size());
+  EXPECT_EQ(decode_tile(t, nullptr, kNoBaseCycle), samples);
+}
+
+TEST(Tile, DeltaRoundtripAndCompression) {
+  // Consecutive cycles differ in a handful of cells: the XOR stream is
+  // mostly zero runs, so the delta must beat the keyframe.
+  std::vector<float> base(8 * 8 * 10);
+  for (std::size_t n = 0; n < base.size(); ++n)
+    base[n] = float(n % 37) * 0.75f - 10.0f;
+  std::vector<float> cur = base;
+  cur[5] += 4.0f;
+  cur[123] = 55.0f;
+
+  const TileKey key{ProductKind::kVolume3D, 0, 0};
+  const EncodedTile delta =
+      encode_tile(key, 11, 8, 8, 10, cur, &base, 10, false);
+  ASSERT_FALSE(delta.is_keyframe());
+  EXPECT_EQ(delta.base_cycle, 10);
+
+  const EncodedTile keyframe =
+      encode_tile(key, 11, 8, 8, 10, cur, nullptr, kNoBaseCycle, false);
+  EXPECT_LT(delta.bytes.size(), keyframe.bytes.size());
+
+  EXPECT_EQ(decode_tile(delta, &base, 10), cur);
+  EXPECT_EQ(decode_tile(keyframe, nullptr, kNoBaseCycle), cur);
+}
+
+TEST(Tile, ForceKeyframeSkipsDelta) {
+  std::vector<float> base(64, 1.0f);
+  std::vector<float> cur = base;
+  cur[0] = 2.0f;
+  const EncodedTile t = encode_tile({ProductKind::kMapView, 0, 0}, 3, 8, 8, 1,
+                                    cur, &base, 2, /*force_keyframe=*/true);
+  EXPECT_TRUE(t.is_keyframe());
+}
+
+TEST(Tile, IncompressibleTileFallsBackToKeyframe) {
+  // A base that shares nothing with the current tile: the XOR stream is as
+  // incompressible as the raw stream, so the encoder must keep the
+  // keyframe (delta only wins when strictly smaller).
+  std::vector<float> base(64), cur(64);
+  for (std::size_t n = 0; n < 64; ++n) {
+    base[n] = float(n) * 1.618f;
+    cur[n] = float(63 - n) * -2.718f;
+  }
+  const EncodedTile t = encode_tile({ProductKind::kMapView, 0, 0}, 3, 8, 8, 1,
+                                    cur, &base, 2, false);
+  EXPECT_TRUE(t.is_keyframe());
+  EXPECT_EQ(decode_tile(t, nullptr, kNoBaseCycle), cur);
+}
+
+TEST(Tile, WrongBaseCycleIsDetected) {
+  std::vector<float> base(64, 5.0f);
+  std::vector<float> cur = base;
+  cur[7] = 9.0f;
+  const EncodedTile delta = encode_tile({ProductKind::kMapView, 0, 0}, 21, 8,
+                                        8, 1, cur, &base, 20, false);
+  ASSERT_FALSE(delta.is_keyframe());
+  // Right samples, wrong claimed cycle: the base-cycle check fires.
+  EXPECT_THROW(decode_tile(delta, &base, 19), std::runtime_error);
+}
+
+TEST(Tile, WrongBaseSamplesAreDetectedByCrc) {
+  std::vector<float> base(64, 5.0f);
+  std::vector<float> cur = base;
+  cur[7] = 9.0f;
+  const EncodedTile delta = encode_tile({ProductKind::kMapView, 0, 0}, 21, 8,
+                                        8, 1, cur, &base, 20, false);
+  ASSERT_FALSE(delta.is_keyframe());
+  // Right cycle number, wrong base payload: XOR yields garbage, the CRC
+  // catches it — never a silently wrong tile.
+  std::vector<float> wrong_base(64, 6.0f);
+  EXPECT_THROW(decode_tile(delta, &wrong_base, 20), std::runtime_error);
+}
+
+TEST(Tile, DeltaWithoutBaseThrows) {
+  std::vector<float> base(64, 5.0f);
+  std::vector<float> cur = base;
+  cur[7] = 9.0f;
+  const EncodedTile delta = encode_tile({ProductKind::kMapView, 0, 0}, 21, 8,
+                                        8, 1, cur, &base, 20, false);
+  ASSERT_FALSE(delta.is_keyframe());
+  EXPECT_THROW(decode_tile(delta, nullptr, 20), std::runtime_error);
+}
+
+TEST(Tile, CorruptPayloadIsDetected) {
+  std::vector<float> cur(64, 3.0f);
+  EncodedTile t = encode_tile({ProductKind::kMapView, 0, 0}, 1, 8, 8, 1, cur,
+                              nullptr, kNoBaseCycle, false);
+  ASSERT_FALSE(t.bytes.empty());
+  t.bytes[t.bytes.size() / 2] ^= 0x5A;
+  EXPECT_THROW(decode_tile(t, nullptr, kNoBaseCycle), std::runtime_error);
+}
+
+TEST(Tile, EncodeRejectsDimensionMismatch) {
+  std::vector<float> cur(63, 0.0f);  // 8*8*1 - 1
+  EXPECT_THROW(encode_tile({ProductKind::kMapView, 0, 0}, 1, 8, 8, 1, cur,
+                           nullptr, kNoBaseCycle, false),
+               std::runtime_error);
+}
+
+TEST(Tile, KeyOrderingIsDeterministic) {
+  const TileKey a{ProductKind::kMapView, 1, 2};
+  const TileKey b{ProductKind::kMapView, 1, 3};
+  const TileKey c{ProductKind::kVolume3D, 0, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);  // kind dominates
+  EXPECT_FALSE(a < a);
+  EXPECT_TRUE(a == a);
+}
+
+}  // namespace
+}  // namespace bda::serve

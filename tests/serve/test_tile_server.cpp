@@ -1,0 +1,152 @@
+// TileServer contract tests: response statuses, the staleness contract,
+// hit/miss accounting, and metrics flushing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "serve/tile_server.hpp"
+#include "util/metrics.hpp"
+
+namespace bda::serve {
+namespace {
+
+const TileKey kKey{ProductKind::kMapView, 0, 0};
+
+std::shared_ptr<const CycleProducts> make_cycle(std::uint64_t cycle) {
+  auto p = std::make_shared<CycleProducts>();
+  p->cycle = cycle;
+  EncodedTile t;
+  t.key = kKey;
+  t.cycle = cycle;
+  t.nx = 1;
+  t.ny = 1;
+  t.nz = 1;
+  t.bytes = {std::uint8_t(cycle & 0xFF)};
+  p->tiles.emplace(t.key, t);
+  return p;
+}
+
+TEST(TileServer, EmptyCacheMisses) {
+  ProductCache cache(2);
+  TileServer server(&cache);
+  const auto resp = server.get({kKey, kLatestCycle});
+  EXPECT_EQ(resp.status, ServeStatus::kEmpty);
+  EXPECT_FALSE(resp.hit());
+  EXPECT_EQ(resp.tile, nullptr);
+  EXPECT_EQ(server.requests(), 1u);
+  EXPECT_EQ(server.misses(), 1u);
+}
+
+TEST(TileServer, LatestRequestServesCacheHead) {
+  ProductCache cache(3);
+  ASSERT_TRUE(cache.publish(make_cycle(4)));
+  ASSERT_TRUE(cache.publish(make_cycle(5)));
+  TileServer server(&cache);
+  const auto resp = server.get({kKey, kLatestCycle});
+  ASSERT_TRUE(resp.hit());
+  EXPECT_EQ(resp.served_cycle, 5u);
+  EXPECT_EQ(resp.latest_cycle, 5u);
+  // kLatest is never stale by construction.
+  EXPECT_EQ(resp.staleness_cycles(), 0u);
+  ASSERT_NE(resp.tile, nullptr);
+  EXPECT_EQ(resp.tile->cycle, 5u);
+}
+
+TEST(TileServer, PinnedCycleHitReportsStaleness) {
+  ProductCache cache(3);
+  ASSERT_TRUE(cache.publish(make_cycle(4)));
+  ASSERT_TRUE(cache.publish(make_cycle(5)));
+  ASSERT_TRUE(cache.publish(make_cycle(6)));
+  TileServer server(&cache);
+  const auto resp = server.get({kKey, 4});
+  ASSERT_TRUE(resp.hit());
+  EXPECT_EQ(resp.served_cycle, 4u);
+  EXPECT_EQ(resp.latest_cycle, 6u);
+  EXPECT_EQ(resp.staleness_cycles(), 2u);
+  // A hit can never be staler than the retention window: anything older
+  // has been evicted and answers kStaleCycle instead.
+  EXPECT_LT(resp.staleness_cycles(), cache.retention_cycles());
+}
+
+TEST(TileServer, RetiredCycleIsStaleMissNotSilentlyOld) {
+  ProductCache cache(2);
+  for (std::uint64_t c = 1; c <= 5; ++c)
+    ASSERT_TRUE(cache.publish(make_cycle(c)));
+  TileServer server(&cache);
+  const auto resp = server.get({kKey, 1});  // evicted long ago
+  EXPECT_EQ(resp.status, ServeStatus::kStaleCycle);
+  EXPECT_FALSE(resp.hit());
+  EXPECT_EQ(resp.tile, nullptr);
+  EXPECT_EQ(resp.latest_cycle, 5u);
+}
+
+TEST(TileServer, UnknownTileKeyMisses) {
+  ProductCache cache(2);
+  ASSERT_TRUE(cache.publish(make_cycle(1)));
+  TileServer server(&cache);
+  const auto resp = server.get({TileKey{ProductKind::kVolume3D, 9, 9}, 1});
+  EXPECT_EQ(resp.status, ServeStatus::kUnknownTile);
+  EXPECT_EQ(resp.tile, nullptr);
+}
+
+TEST(TileServer, ResponsePinKeepsTileAlivePastEviction) {
+  ProductCache cache(2);
+  ASSERT_TRUE(cache.publish(make_cycle(1)));
+  TileServer server(&cache);
+  const auto resp = server.get({kKey, 1});
+  ASSERT_TRUE(resp.hit());
+  // Evict cycle 1 while the response is still held.
+  for (std::uint64_t c = 2; c <= 6; ++c)
+    ASSERT_TRUE(cache.publish(make_cycle(c)));
+  // The borrowed tile pointer is still valid through the epoch pin.
+  EXPECT_EQ(resp.tile->cycle, 1u);
+  EXPECT_EQ(resp.tile->bytes.size(), 1u);
+}
+
+TEST(TileServer, CountersAndMetricsFlush) {
+  ProductCache cache(2);
+  ASSERT_TRUE(cache.publish(make_cycle(3)));
+  util::Metrics metrics;
+  TileServer server(&cache, &metrics, /*sample_every=*/1);
+
+  EXPECT_TRUE(server.get({kKey, kLatestCycle}).hit());           // hit
+  EXPECT_TRUE(server.get({kKey, 3}).hit());                      // hit
+  server.get({kKey, 2});                                         // stale
+  server.get({TileKey{ProductKind::kVolume3D, 1, 1}, 3});        // unknown
+
+  EXPECT_EQ(server.requests(), 4u);
+  EXPECT_EQ(server.hits(), 2u);
+  EXPECT_EQ(server.misses(), 2u);
+
+  server.flush_metrics();
+  EXPECT_EQ(metrics.counter("serve.requests"), 4u);
+  EXPECT_EQ(metrics.counter("serve.hit"), 2u);
+  EXPECT_EQ(metrics.counter("serve.miss.stale"), 1u);
+  EXPECT_EQ(metrics.counter("serve.miss.unknown"), 1u);
+  EXPECT_EQ(metrics.counter("serve.miss.empty"), 0u);
+  // Latency was sampled on every request here.
+  EXPECT_EQ(metrics.samples("serve.request"), 4u);
+
+  // Flush is a delta, not a re-count: flushing again adds nothing.
+  server.flush_metrics();
+  EXPECT_EQ(metrics.counter("serve.requests"), 4u);
+  EXPECT_EQ(metrics.counter("serve.hit"), 2u);
+
+  // …and the next request after a flush lands in the next delta.
+  EXPECT_TRUE(server.get({kKey, kLatestCycle}).hit());
+  server.flush_metrics();
+  EXPECT_EQ(metrics.counter("serve.requests"), 5u);
+  EXPECT_EQ(metrics.counter("serve.hit"), 3u);
+}
+
+TEST(TileServer, LatencySamplingHonorsSampleEvery) {
+  ProductCache cache(2);
+  ASSERT_TRUE(cache.publish(make_cycle(1)));
+  util::Metrics metrics;
+  TileServer server(&cache, &metrics, /*sample_every=*/8);
+  for (int n = 0; n < 64; ++n) server.get({kKey, kLatestCycle});
+  EXPECT_EQ(metrics.samples("serve.request"), 8u);
+}
+
+}  // namespace
+}  // namespace bda::serve

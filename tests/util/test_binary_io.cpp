@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 #include "util/binary_io.hpp"
 
@@ -82,6 +85,70 @@ TEST(BinaryIo, FileRoundtrip) {
 
 TEST(BinaryIo, ReadMissingFileThrows) {
   EXPECT_THROW(read_bdf("/nonexistent/file.bdf"), std::runtime_error);
+}
+
+// Regression: write_bdf used to rewrite the product file in place, so a
+// concurrent reader (the serving tier, the ops watcher polling T_fcst)
+// could open a truncated file mid-write and fail the CRC.  With the
+// temp+rename publication every read observes a complete file — this test
+// hammers exactly that window and fails on the pre-fix in-place writer.
+TEST(BinaryIo, ConcurrentReaderNeverSeesTornProductFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bda_torn_read.bdf").string();
+  // Big enough that an in-place rewrite has a wide torn window.
+  auto recs_for = [](float scale) {
+    std::vector<FieldRecord> recs;
+    recs.push_back({"dbz", make_field(24, 24, 16, scale)});
+    return recs;
+  };
+  write_bdf(path, recs_for(1.0f));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r)
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          const auto back = read_bdf(path);
+          EXPECT_EQ(back.size(), 1u);
+          reads.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::runtime_error&) {
+          // CRC mismatch / truncation: the torn read the fix removes.
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+
+  for (int w = 0; w < 60; ++w) write_bdf(path, recs_for(float(w + 2)));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u) << "reader observed a torn product file";
+  EXPECT_GT(reads.load(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryIo, AtomicWriteLeavesNoTempFilesBehind) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "bda_atomic_write_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "out.bin").string();
+
+  io::write_file_atomic(path, {1, 2, 3, 4}, "test");
+  io::write_file_atomic(path, {5, 6, 7, 8}, "test");  // overwrite is atomic
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path().string(), path);  // no .tmp.* droppings
+  }
+  EXPECT_EQ(entries, 1u);
+
+  // Failure path: target directory vanishes -> throws, no silent no-op.
+  fs::remove_all(dir);
+  EXPECT_THROW(io::write_file_atomic(path, {9}, "test"), std::runtime_error);
 }
 
 TEST(Crc32, KnownVectorAndSensitivity) {

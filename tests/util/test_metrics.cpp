@@ -124,6 +124,86 @@ TEST(Metrics, TimerStatsDefinedAtSmallSampleCounts) {
   EXPECT_LE(two.p99_s, two.max_s);
 }
 
+// Minimal JSON structural validator: tracks strings (with escapes) and
+// bracket balance.  Returns false on any raw control character, unbalanced
+// bracket, or text outside a recognized token — enough to catch the
+// unescaped-key export bug, which produced a stray quote mid-document.
+bool json_is_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (i + 1 >= s.size()) return false;
+        const char e = s[i + 1];
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't' && e != 'u')
+          return false;
+        i += (e == 'u') ? 5 : 1;
+        continue;
+      }
+      if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        // Metrics JSON has no boolean/null literals: outside strings the
+        // only letters are a number's exponent marker.  Anything else is
+        // string content that leaked past a broken quote.
+        if ((c >= 'a' && c <= 'z' && c != 'e') ||
+            (c >= 'A' && c <= 'Z' && c != 'E'))
+          return false;
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(Metrics, JsonExportEscapesHostileKeys) {
+  // Metric names are caller-chosen (bench labels interpolate paths, tile
+  // keys, error strings) — names with quotes, backslashes or control
+  // characters used to render the whole export unparseable.
+  Metrics m;
+  m.count("say \"hi\"");
+  m.count("back\\slash");
+  m.count("tab\tand\nnewline");
+  m.count(std::string("nul\0byte", 8));
+  m.observe("windows\\path\\\"quoted\"", 1.5);
+
+  const std::string json = m.to_json();
+  EXPECT_TRUE(json_is_well_formed(json)) << json;
+  // Quotes and backslashes arrive escaped, not raw.
+  EXPECT_NE(json.find("say \\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("tab\\tand\\nnewline"), std::string::npos);
+  EXPECT_NE(json.find("\\u0000"), std::string::npos);
+  // Sanity: the validator itself rejects the pre-fix output shape.
+  EXPECT_FALSE(json_is_well_formed("{\"a \"b\": 1}"));
+  EXPECT_FALSE(json_is_well_formed("{\"a\": 1"));
+}
+
+TEST(Metrics, JsonExportBenignKeysUnchanged) {
+  Metrics m;
+  m.count("serve.hit", 3);
+  m.observe("serve.request", 0.001);
+  const std::string json = m.to_json();
+  EXPECT_TRUE(json_is_well_formed(json));
+  EXPECT_NE(json.find("\"serve.hit\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.request\""), std::string::npos);
+}
+
 TEST(Metrics, ConcurrentRecordingIsExact) {
   // One shared sink hammered from several threads — the cycle thread, the
   // regrid overlap task and the forecast workers all write concurrently in

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <limits>
 
 #include "scale/reference.hpp"
 #include "util/binary_io.hpp"
@@ -77,6 +78,60 @@ TEST(RainCores, ThresholdSelectsIntensity) {
   EXPECT_EQ(rain_cores(dbz, 30.0f).size(), 2u);
   EXPECT_EQ(rain_cores(dbz, 50.0f).size(), 1u);
   EXPECT_TRUE(rain_cores(dbz, 60.0f).empty());
+}
+
+// Regression: core membership must be the positive comparison
+// `dbz >= threshold`.  The pre-fix negated form (`dbz < threshold` -> skip)
+// silently swept NaN voxels into cores — missing radar data labeled as
+// rain, and an all-NaN volume as one giant core.
+TEST(RainCores, NanVoxelsAreNeverCoreMembers) {
+  const real nan = std::numeric_limits<real>::quiet_NaN();
+  auto dbz = dbz_volume(6);
+  dbz.fill(nan);
+  EXPECT_TRUE(rain_cores(dbz, 40.0f).empty()) << "all-NaN volume made cores";
+
+  // A NaN voxel adjacent to a real core neither joins it nor bridges two.
+  dbz.fill(-20.0f);
+  dbz(1, 1, 1) = 45.0f;
+  dbz(2, 1, 1) = nan;
+  dbz(3, 1, 1) = 45.0f;
+  const auto cores = rain_cores(dbz, 40.0f);
+  ASSERT_EQ(cores.size(), 2u);
+  EXPECT_EQ(cores[0], 1u);
+  EXPECT_EQ(cores[1], 1u);
+}
+
+// Regression: the flood fill must survive its worst case — every voxel
+// above threshold, one core spanning the whole grid (an explicit worklist;
+// call recursion would overflow the stack here).
+TEST(RainCores, FullGridIsOneCoreCoveringEveryVoxel) {
+  const idx n = 64;  // 262144 voxels in a single 6-connected component
+  RField3D dbz(n, n, n, 0);
+  dbz.fill(50.0f);
+  const auto cores = rain_cores(dbz, 40.0f);
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0], std::size_t(n) * n * n);
+}
+
+TEST(RainCores, SingleVoxelGrid) {
+  RField3D dbz(1, 1, 1, 0);
+  dbz(0, 0, 0) = 45.0f;
+  const auto one = rain_cores(dbz, 40.0f);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 1u);
+  dbz(0, 0, 0) = 35.0f;
+  EXPECT_TRUE(rain_cores(dbz, 40.0f).empty());
+}
+
+// The documented boundary is inclusive: exactly-threshold voxels belong to
+// the core (`>=`, not `>`).
+TEST(RainCores, ThresholdBoundaryIsInclusive) {
+  auto dbz = dbz_volume(4);
+  dbz(1, 1, 1) = 40.0f;  // exactly at threshold
+  dbz(2, 1, 1) = 39.999f;
+  const auto cores = rain_cores(dbz, 40.0f);
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0], 1u);
 }
 
 TEST(DbzShells, ProfileCountsPerLevelAndThreshold) {
